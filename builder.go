@@ -1,0 +1,121 @@
+package casm
+
+import (
+	"fmt"
+
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// Builder assembles a Query fluently. The first error sticks and is
+// returned by Done, so call chains need no intermediate checks.
+type Builder struct {
+	q   *Query
+	err error
+}
+
+// Build starts a query over the schema.
+func Build(schema *Schema) *Builder {
+	return &Builder{q: NewQuery(schema)}
+}
+
+// WindowSpec names a sliding-window annotation on one attribute.
+type WindowSpec struct {
+	Attr string
+	Low  int64
+	High int64
+}
+
+// Window is shorthand for a WindowSpec: the window of an output region at
+// coordinate c covers source regions c+low … c+high of the attribute.
+func Window(attr string, low, high int64) WindowSpec {
+	return WindowSpec{Attr: attr, Low: low, High: high}
+}
+
+func (b *Builder) grain(specs []GrainSpec) Grain {
+	if b.err != nil {
+		return nil
+	}
+	g, err := b.q.Schema().MakeGrain(specs...)
+	if err != nil {
+		b.err = err
+		return nil
+	}
+	return g
+}
+
+// Basic adds a basic measure aggregating input (an attribute name, or ""
+// for COUNT) at the grain given by the specs (omitted attributes are ALL).
+func (b *Builder) Basic(name string, agg AggSpec, input string, at ...GrainSpec) *Builder {
+	g := b.grain(at)
+	if b.err == nil {
+		b.err = b.q.AddBasic(name, g, agg, input)
+	}
+	return b
+}
+
+// Self adds a measure combining same-region (or parent-region) source
+// values with expr.
+func (b *Builder) Self(name string, expr Expr, sources []string, at ...GrainSpec) *Builder {
+	g := b.grain(at)
+	if b.err == nil {
+		b.err = b.q.AddSelf(name, g, expr, sources...)
+	}
+	return b
+}
+
+// Rollup adds a child/parent measure aggregating source over each
+// region's children.
+func (b *Builder) Rollup(name string, agg AggSpec, source string, at ...GrainSpec) *Builder {
+	g := b.grain(at)
+	if b.err == nil {
+		b.err = b.q.AddRollup(name, g, agg, source)
+	}
+	return b
+}
+
+// Inherit adds a parent/child measure copying the parent region's source
+// value down.
+func (b *Builder) Inherit(name string, source string, at ...GrainSpec) *Builder {
+	g := b.grain(at)
+	if b.err == nil {
+		b.err = b.q.AddInherit(name, g, source)
+	}
+	return b
+}
+
+// Sliding adds a sibling measure aggregating source over the window of
+// neighbouring regions.
+func (b *Builder) Sliding(name string, agg AggSpec, source string, win WindowSpec, at ...GrainSpec) *Builder {
+	g := b.grain(at)
+	if b.err != nil {
+		return b
+	}
+	ai, ok := b.q.Schema().AttrIndex(win.Attr)
+	if !ok {
+		b.err = fmt.Errorf("casm: window on unknown attribute %q", win.Attr)
+		return b
+	}
+	b.err = b.q.AddSliding(name, g, agg, source,
+		workflow.RangeAnn{Attr: ai, Low: win.Low, High: win.High})
+	return b
+}
+
+// Done returns the built query or the first error encountered.
+func (b *Builder) Done() (*Query, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.q.Validate(); err != nil {
+		return nil, err
+	}
+	return b.q, nil
+}
+
+// MustDone is Done that panics on error, for statically known queries.
+func (b *Builder) MustDone() *Query {
+	q, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,351 @@
+// Package casm is a parallel evaluation engine for composite subset
+// measure queries — correlated, hierarchically grouped aggregations over
+// multidimensional data, including sliding-window measures — implementing
+// Chen, Olston and Ramakrishnan, "Parallel Evaluation of Composite
+// Aggregate Queries" (ICDE 2008).
+//
+// A query is an aggregation workflow: a DAG of measures, each defined
+// over a granularity of cube space and derived from raw records (basic
+// measures) or from other measures through the self, child/parent,
+// parent/child, and sibling relationships. The engine redistributes the
+// raw data once into (possibly overlapping) blocks of cube space chosen
+// so that every measure can be computed entirely locally inside one
+// block; the final answer is the duplicate-free union of the per-block
+// results.
+//
+// Quick start:
+//
+//	schema := casm.NewSchema(
+//		casm.MustAttribute("keyword", casm.Nominal, 10000,
+//			casm.Level{Name: "word", Span: 1},
+//			casm.Level{Name: "group", Span: 100}),
+//		casm.TimeAttribute("time", 7),
+//	)
+//	q, err := casm.Build(schema).
+//		Basic("hits", casm.Agg(casm.Count), "", casm.At("keyword", "word"), casm.At("time", "minute")).
+//		Sliding("traffic", casm.Agg(casm.Sum), "hits", casm.Window("time", -9, 0),
+//			casm.At("keyword", "word"), casm.At("time", "minute")).
+//		Done()
+//	eng, err := casm.NewEngine(casm.Config{NumReducers: 8})
+//	res, err := eng.Run(q, casm.MemoryDataset(schema, records, 16))
+//
+// See the examples directory for complete programs.
+package casm
+
+import (
+	"fmt"
+
+	"github.com/casm-project/casm/internal/core"
+	"github.com/casm-project/casm/internal/costmodel"
+	"github.com/casm-project/casm/internal/cql"
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/distkey"
+	"github.com/casm-project/casm/internal/localeval"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/optimizer"
+	"github.com/casm-project/casm/internal/recio"
+	"github.com/casm-project/casm/internal/transport"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// --- cube space ---
+
+// Kind classifies an attribute's domain.
+type Kind = cube.Kind
+
+// Domain kinds. Only Numeric and Temporal attributes may carry sliding
+// windows and distribution-key range annotations.
+const (
+	Nominal  = cube.Nominal
+	Numeric  = cube.Numeric
+	Temporal = cube.Temporal
+)
+
+// Level is one level of an attribute's domain hierarchy.
+type Level = cube.Level
+
+// Attribute is one dimension of cube space with its hierarchy.
+type Attribute = cube.Attribute
+
+// Schema is the ordered set of attributes defining cube space.
+type Schema = cube.Schema
+
+// Record is one data record: a finest-level value per attribute.
+type Record = cube.Record
+
+// Grain names a granularity (one level per attribute).
+type Grain = cube.Grain
+
+// GrainSpec selects one attribute's level when building grains.
+type GrainSpec = cube.GrainSpec
+
+// Region is a hyper-rectangle of cube space at some grain.
+type Region = cube.Region
+
+// NewAttribute builds an attribute; see cube.NewAttribute.
+func NewAttribute(name string, kind Kind, card int64, levels ...Level) (*Attribute, error) {
+	return cube.NewAttribute(name, kind, card, levels...)
+}
+
+// MustAttribute is NewAttribute that panics on error.
+func MustAttribute(name string, kind Kind, card int64, levels ...Level) *Attribute {
+	return cube.MustAttribute(name, kind, card, levels...)
+}
+
+// TimeAttribute builds a temporal attribute with the second < minute <
+// hour < day hierarchy covering the given number of days.
+func TimeAttribute(name string, days int64) *Attribute {
+	return cube.TimeAttribute(name, days)
+}
+
+// MappedLevel defines one level of an irregular hierarchy by an explicit
+// value→coordinate assignment table.
+type MappedLevel = cube.MappedLevel
+
+// NewMappedAttribute builds a nominal attribute whose hierarchy levels
+// are given by explicit mapping tables (e.g. SKUs into hand-curated
+// categories) instead of fixed spans.
+func NewMappedAttribute(name string, card int64, levels ...MappedLevel) (*Attribute, error) {
+	return cube.NewMappedAttribute(name, card, levels...)
+}
+
+// MustMappedAttribute is NewMappedAttribute that panics on error.
+func MustMappedAttribute(name string, card int64, levels ...MappedLevel) *Attribute {
+	return cube.MustMappedAttribute(name, card, levels...)
+}
+
+// NewSchema builds a schema; it panics on invalid input (schemas are
+// static program data). Use cube-level constructors for error returns.
+func NewSchema(attrs ...*Attribute) *Schema { return cube.MustSchema(attrs...) }
+
+// At is shorthand for a GrainSpec.
+func At(attr, level string) GrainSpec { return GrainSpec{Attr: attr, Level: level} }
+
+// --- measures ---
+
+// AggFunc names an aggregate function.
+type AggFunc = measure.Func
+
+// Supported aggregate functions.
+const (
+	Count    = measure.Count
+	Sum      = measure.Sum
+	Min      = measure.Min
+	Max      = measure.Max
+	Avg      = measure.Avg
+	Var      = measure.Var
+	StdDev   = measure.StdDev
+	Median   = measure.Median
+	Quantile = measure.Quantile
+	// CountDistinct counts distinct input values (holistic).
+	CountDistinct = measure.CountDistinct
+)
+
+// AggSpec is a fully specified aggregate function.
+type AggSpec = measure.Spec
+
+// Agg builds an AggSpec for a parameterless function.
+func Agg(f AggFunc) AggSpec { return AggSpec{Func: f} }
+
+// QuantileAgg builds a quantile aggregate with the given rank in (0,1).
+func QuantileAgg(rank float64) AggSpec { return AggSpec{Func: Quantile, Arg: rank} }
+
+// Expr combines source measure values in self measures.
+type Expr = measure.Expr
+
+// Builtin expressions.
+var (
+	Ratio = measure.Ratio
+	Plus  = measure.Add
+	Minus = measure.Sub
+	Times = measure.Mul
+	Ident = measure.Ident
+	Scale = measure.Scale
+)
+
+// FuncExpr wraps an arbitrary function as an Expr.
+type FuncExpr = measure.FuncExpr
+
+// --- queries ---
+
+// Query is an aggregation workflow: the DAG of measures to evaluate.
+type Query = workflow.Workflow
+
+// Measure is one node of a query.
+type Measure = workflow.Measure
+
+// RangeAnn is a sibling window annotation (attribute index + offsets).
+type RangeAnn = workflow.RangeAnn
+
+// NewQuery returns an empty query over the schema; add measures with the
+// AddBasic/AddSelf/AddRollup/AddInherit/AddSliding methods, or use Build
+// for a fluent interface.
+func NewQuery(schema *Schema) *Query { return workflow.New(schema) }
+
+// ParseQuery compiles CQL text — the library's small query language — into
+// a query over the schema. See package internal/cql for the grammar:
+//
+//	MEASURE m1 = MEDIAN(pages)  AT (keyword:word, time:minute);
+//	MEASURE m4 = WINDOW AVG(m3) OVER time(-9, 0) AT (keyword:word, time:minute);
+func ParseQuery(schema *Schema, src string) (*Query, error) { return cql.Parse(schema, src) }
+
+// FormatQuery renders a query as CQL text; ParseQuery(FormatQuery(q))
+// reconstructs an equivalent query.
+func FormatQuery(q *Query) string { return cql.Format(q) }
+
+// --- distribution keys and plans ---
+
+// DistributionKey is a (possibly annotated, hence overlapping)
+// distribution key.
+type DistributionKey = distkey.Key
+
+// Plan is an optimizer-chosen execution plan.
+type Plan = optimizer.Plan
+
+// PlanCache remembers previously successful plans across queries.
+type PlanCache = optimizer.PlanCache
+
+// DeriveKey returns the minimal feasible distribution key for a query
+// (paper Theorems 1–2 and the OpConvert/OpCombine algorithms).
+func DeriveKey(q *Query) (DistributionKey, error) {
+	k, _, err := distkey.Derive(q)
+	return k, err
+}
+
+// --- engine ---
+
+// Engine evaluates queries in parallel.
+type Engine = core.Engine
+
+// Config tunes the engine; see the field documentation in internal/core.
+type Config = core.Config
+
+// Execution knobs re-exported from the engine.
+const (
+	TwoPassSort     = core.TwoPassSort
+	CombinedKeySort = core.CombinedKeySort
+
+	// Local-scan strategies for Config.LocalScan.
+	HashScan  = localeval.HashScan
+	ChainScan = localeval.ChainScan
+
+	StageFull    = core.StageFull
+	StageMapOnly = core.StageMapOnly
+	StageShuffle = core.StageShuffle
+	StageSort    = core.StageSort
+
+	EarlyAggOff  = core.EarlyAggOff
+	EarlyAggOn   = core.EarlyAggOn
+	EarlyAggAuto = core.EarlyAggAuto
+
+	SkewNone     = core.SkewNone
+	SkewSampling = core.SkewSampling
+)
+
+// Dataset couples a schema with a record input.
+type Dataset = core.Dataset
+
+// Result is a completed evaluation.
+type Result = core.Result
+
+// MeasureRecord is one <region, value> output row.
+type MeasureRecord = core.MeasureRecord
+
+// Cluster describes the simulated cluster used for response-time
+// estimates.
+type Cluster = costmodel.Cluster
+
+// DefaultCluster is the paper's 100-machine cluster.
+func DefaultCluster() Cluster { return costmodel.DefaultCluster() }
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) { return core.NewEngine(cfg) }
+
+// MemoryDataset wraps in-memory records as a dataset split into the given
+// number of map splits.
+func MemoryDataset(schema *Schema, records []Record, splits int) *Dataset {
+	return core.MemoryDataset(schema, records, splits)
+}
+
+// TransportFactory creates the shuffle transport for a job.
+type TransportFactory = transport.Factory
+
+// TCPTransport returns a factory that shuffles over loopback TCP with gob
+// framing instead of in-memory channels; set it as Config.Transport to
+// exercise real network paths. buffer sizes each reducer's receive
+// channel (< 1 uses the default).
+func TCPTransport(buffer int) TransportFactory { return transport.TCPFactory(buffer) }
+
+// ChannelTransport returns the default in-memory shuffle factory.
+func ChannelTransport(buffer int) TransportFactory { return transport.ChannelFactory(buffer) }
+
+// --- distributed storage ---
+
+// FS is the in-process replicated block store.
+type FS = dfs.FS
+
+// FSConfig parameterizes an FS.
+type FSConfig = dfs.Config
+
+// NewFS returns an empty replicated block store.
+func NewFS(cfg FSConfig) (*FS, error) { return dfs.New(cfg) }
+
+// WriteRecords packs records into aligned blocks (none straddles a block
+// boundary) and stores them as a DFS file ready for parallel scanning.
+func WriteRecords(fs *FS, name string, records []Record, blockSize int) error {
+	data, err := recio.PackAligned(records, blockSize)
+	if err != nil {
+		return err
+	}
+	return fs.Write(name, data)
+}
+
+// SaveResults persists an evaluation's measure records as a block-aligned
+// DFS file, as the paper's jobs write their output back to HDFS.
+func SaveResults(fs *FS, name string, res *Result, blockSize int) error {
+	return core.SaveResults(fs, name, res, blockSize)
+}
+
+// LoadResults reads a file written by SaveResults, resolving measure
+// grains through the query that produced it.
+func LoadResults(fs *FS, name string, q *Query) (map[string][]MeasureRecord, error) {
+	return core.LoadResults(fs, name, q)
+}
+
+// DFSDataset opens a DFS file written by WriteRecords as a dataset,
+// counting its records once for the optimizer.
+func DFSDataset(schema *Schema, fs *FS, file string) (*Dataset, error) {
+	ds := &core.Dataset{Schema: schema, Input: mr.NewDFSInput(fs, file)}
+	n, err := core.CountRecords(ds)
+	if err != nil {
+		return nil, fmt.Errorf("casm: counting %q: %w", file, err)
+	}
+	ds.NumRecords = n
+	return ds, nil
+}
+
+// Explain renders a query, the per-measure and query-wide minimal
+// feasible distribution keys, and the optimizer's plan for the given
+// dataset size and reducer count.
+func Explain(q *Query, totalRecords int64, numReducers int) (string, error) {
+	key, perMeasure, err := distkey.Derive(q)
+	if err != nil {
+		return "", err
+	}
+	plan, err := optimizer.Optimize(q, optimizer.Config{
+		NumReducers:  numReducers,
+		TotalRecords: totalRecords,
+	})
+	if err != nil {
+		return "", err
+	}
+	s := q.Schema()
+	out := q.Explain()
+	for _, m := range q.Measures() {
+		out += fmt.Sprintf("key[%s] = %s\n", m.Name, perMeasure[m.Name].Format(s))
+	}
+	out += fmt.Sprintf("minimal feasible key: %s\n", key.Format(s))
+	return out + plan.Explain(s), nil
+}

@@ -1,0 +1,94 @@
+// Command casmbench regenerates the paper's evaluation (Figure 4, panels
+// (a)–(f)) at laptop scale and prints one table per panel:
+//
+//	casmbench                 # all panels at the default scale
+//	casmbench -panel c        # one panel
+//	casmbench -scale 2.5      # larger datasets
+//
+// Panels execute real engine runs; the reported numbers are simulated
+// response times on the paper's 100-machine cluster (see DESIGN.md for
+// the substitution rationale). EXPERIMENTS.md records the paper-vs-
+// reproduced comparison for each panel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/casm-project/casm/internal/figures"
+)
+
+func main() {
+	var (
+		panel = flag.String("panel", "all", "panel to run: a|b|c|d|e|f|all")
+		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed  = flag.Int64("seed", 1, "data generation seed")
+	)
+	flag.Parse()
+
+	cfg := figures.Config{Scale: *scale, Seed: *seed, TempDir: os.TempDir()}
+	run := func(name string, f func(figures.Config) (fmt.Stringer, error)) {
+		if *panel != "all" && *panel != name {
+			return
+		}
+		start := time.Now()
+		t, err := f(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casmbench: panel %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(t.String())
+		fmt.Printf("(panel %s regenerated in %.1fs real time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("a", func(c figures.Config) (fmt.Stringer, error) {
+		p, err := figures.Fig4a(c)
+		if err != nil {
+			return nil, err
+		}
+		return p.Table(), nil
+	})
+	run("b", func(c figures.Config) (fmt.Stringer, error) {
+		p, err := figures.Fig4b(c)
+		if err != nil {
+			return nil, err
+		}
+		return p.Table(), nil
+	})
+	run("c", func(c figures.Config) (fmt.Stringer, error) {
+		p, err := figures.Fig4c(c)
+		if err != nil {
+			return nil, err
+		}
+		return p.Table(), nil
+	})
+	run("d", func(c figures.Config) (fmt.Stringer, error) {
+		p, err := figures.Fig4d(c)
+		if err != nil {
+			return nil, err
+		}
+		return p.Table(), nil
+	})
+	run("e", func(c figures.Config) (fmt.Stringer, error) {
+		p, err := figures.Fig4e(c)
+		if err != nil {
+			return nil, err
+		}
+		return p.Table(), nil
+	})
+	run("f", func(c figures.Config) (fmt.Stringer, error) {
+		p, err := figures.Fig4f(c)
+		if err != nil {
+			return nil, err
+		}
+		return p.Table(), nil
+	})
+
+	if !strings.Contains("abcdef all", *panel) {
+		fmt.Fprintf(os.Stderr, "casmbench: unknown panel %q\n", *panel)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,49 @@
+// Command casmexplain prints an evaluation query's aggregation workflow,
+// its minimal feasible distribution key (via OpConvert/OpCombine), and
+// the optimizer's candidate plans with their modeled heaviest-reducer
+// workloads:
+//
+//	casmexplain -query q6 -records 1000000000 -reducers 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	casm "github.com/casm-project/casm"
+	"github.com/casm-project/casm/internal/workload"
+)
+
+func main() {
+	var (
+		queryStr = flag.String("query", "q1", "query: q1..q6 | ds0..ds2")
+		records  = flag.Int64("records", 1_000_000_000, "dataset cardinality (the optimizer's N)")
+		reducers = flag.Int("reducers", 100, "number of reducers (m)")
+	)
+	flag.Parse()
+
+	su := workload.NewSuite()
+	var q *casm.Query
+	var err error
+	n := strings.ToLower(*queryStr)
+	switch {
+	case strings.HasPrefix(n, "q") && len(n) == 2:
+		q, err = su.Query(int(n[1] - '0'))
+	case strings.HasPrefix(n, "ds") && len(n) == 3:
+		q, err = su.DS(int(n[2] - '0'))
+	default:
+		err = fmt.Errorf("unknown query %q", *queryStr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casmexplain: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := casm.Explain(q, *records, *reducers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casmexplain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,186 @@
+// Command casmrun evaluates one of the paper's queries over a dataset
+// produced by casmgen, printing the chosen plan, per-measure result
+// counts, substrate counters, and the simulated response time on the
+// paper's 100-machine cluster:
+//
+//	casmrun -data data.casm -query q6 -reducers 50
+//	casmrun -data data.casm -query q5 -cf 10 -sort combined
+//	casmrun -data data.casm -query ds0 -early on
+//	casmrun -data data.casm -query q5 -skew sampling -tcp
+//
+// Queries: q1..q6 (Section VI), ds0..ds2 (early-aggregation study).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	casm "github.com/casm-project/casm"
+	"github.com/casm-project/casm/internal/core"
+	"github.com/casm-project/casm/internal/recio"
+	"github.com/casm-project/casm/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "casmrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataPath = flag.String("data", "data.casm", "dataset file from casmgen")
+		queryStr = flag.String("query", "q1", "query: q1..q6 | ds0..ds2")
+		cqlPath  = flag.String("cql", "", "CQL file defining the query over the paper schema (overrides -query)")
+		reducers = flag.Int("reducers", 8, "number of reducers (m)")
+		cf       = flag.Int64("cf", 0, "force clustering factor (0 = optimizer)")
+		sortMode = flag.String("sort", "twopass", "in-group sort: twopass | combined")
+		chain    = flag.Bool("chain", false, "use the chain-scan local evaluator")
+		early    = flag.String("early", "off", "early aggregation: off | on | auto")
+		skew     = flag.String("skew", "none", "skew handling: none | sampling")
+		minBlk   = flag.Int64("minblocks", 0, "minimum blocks per reducer heuristic (0 = off)")
+		stage    = flag.String("stage", "full", "pipeline stage: full | maponly | shuffle | sort")
+		tcp      = flag.Bool("tcp", false, "shuffle over loopback TCP instead of channels")
+		blockSz  = flag.Int("block", 4<<20, "block size used by casmgen")
+		values   = flag.Int("show", 0, "print the first N result rows per measure")
+		savePath = flag.String("save", "", "write result records to this file (block-aligned frames)")
+	)
+	flag.Parse()
+
+	su := workload.NewSuite()
+	var q *casm.Query
+	var err error
+	if *cqlPath != "" {
+		src, rerr := os.ReadFile(*cqlPath)
+		if rerr != nil {
+			return rerr
+		}
+		q, err = casm.ParseQuery(su.Schema, string(src))
+	} else {
+		q, err = pickQuery(su, *queryStr)
+	}
+	if err != nil {
+		return err
+	}
+
+	data, err := os.ReadFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	records, err := recio.DecodeAll(data, *blockSz, su.Schema.NumAttrs())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d records (%d bytes)\n", len(records), len(data))
+
+	cfg := casm.Config{NumReducers: *reducers, ForceCF: *cf, MinBlocksPerReducer: *minBlk}
+	if *chain {
+		cfg.LocalScan = casm.ChainScan
+	}
+	switch *sortMode {
+	case "twopass":
+	case "combined":
+		cfg.SortMode = casm.CombinedKeySort
+	default:
+		return fmt.Errorf("unknown sort mode %q", *sortMode)
+	}
+	switch *early {
+	case "off":
+	case "on":
+		cfg.EarlyAggregation = casm.EarlyAggOn
+	case "auto":
+		cfg.EarlyAggregation = casm.EarlyAggAuto
+	default:
+		return fmt.Errorf("unknown early mode %q", *early)
+	}
+	switch *skew {
+	case "none":
+	case "sampling":
+		cfg.SkewMode = casm.SkewSampling
+	default:
+		return fmt.Errorf("unknown skew mode %q", *skew)
+	}
+	switch *stage {
+	case "full":
+	case "maponly":
+		cfg.Stage = casm.StageMapOnly
+	case "shuffle":
+		cfg.Stage = casm.StageShuffle
+	case "sort":
+		cfg.Stage = casm.StageSort
+	default:
+		return fmt.Errorf("unknown stage %q", *stage)
+	}
+	if *tcp {
+		cfg.Transport = casm.TCPTransport(0)
+	}
+
+	eng, err := casm.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	ds := core.MemoryDataset(su.Schema, records, 4**reducers)
+	res, err := eng.Run(q, ds)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(q.Explain())
+	fmt.Printf("plan: key=%s cf=%d blocks=%d (sampled=%v cached early-agg=%v)\n",
+		res.Plan.Key.Format(su.Schema), res.Plan.ClusteringFactor, res.Plan.Blocks,
+		res.SampledPlan, res.EarlyAggregated)
+
+	names := make([]string, 0, len(res.Measures))
+	for n := range res.Measures {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ms := res.Measures[n]
+		fmt.Printf("measure %-10s %8d records\n", n, len(ms))
+		for i := 0; i < *values && i < len(ms); i++ {
+			fmt.Printf("  %s = %g\n", su.Schema.FormatRegion(ms[i].Region), ms[i].Value)
+		}
+	}
+	fmt.Printf("shuffled: %.1f MB in %d map tasks / %d reduce tasks (wall %.2fs real)\n",
+		float64(res.Stats.Shuffled)/(1<<20), len(res.Stats.MapTasks), len(res.Stats.ReduceTasks),
+		res.Stats.Wall.Seconds())
+	fmt.Printf("simulated response time on the paper's cluster: %s\n", res.Estimate)
+	if res.SampleSeconds > 0 {
+		fmt.Printf("  (includes %.1fs simulated sampling overhead)\n", res.SampleSeconds)
+	}
+	if *savePath != "" {
+		outFS, err := casm.NewFS(casm.FSConfig{BlockSize: *blockSz, Replication: 1, NumNodes: 1, Seed: 1})
+		if err != nil {
+			return err
+		}
+		if err := casm.SaveResults(outFS, "results", res, *blockSz); err != nil {
+			return err
+		}
+		data, err := outFS.Read("results")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*savePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("saved %d measure records to %s (%d bytes)\n", res.TotalRecords(), *savePath, len(data))
+	}
+	return nil
+}
+
+func pickQuery(su *workload.Suite, name string) (*casm.Query, error) {
+	n := strings.ToLower(name)
+	switch {
+	case strings.HasPrefix(n, "q") && len(n) == 2:
+		return su.Query(int(n[1] - '0'))
+	case strings.HasPrefix(n, "ds") && len(n) == 3:
+		return su.DS(int(n[2] - '0'))
+	default:
+		return nil, fmt.Errorf("unknown query %q (want q1..q6 or ds0..ds2)", name)
+	}
+}

@@ -1,0 +1,70 @@
+package casm_test
+
+import (
+	"fmt"
+	"log"
+
+	casm "github.com/casm-project/casm"
+)
+
+// ExampleBuild evaluates a two-measure query — hourly counts and their
+// three-hour moving sum — over a tiny deterministic dataset.
+func ExampleBuild() {
+	schema := casm.NewSchema(
+		casm.MustAttribute("kind", casm.Nominal, 4, casm.Level{Name: "id", Span: 1}),
+		casm.TimeAttribute("time", 1),
+	)
+	query, err := casm.Build(schema).
+		Basic("hourly", casm.Agg(casm.Count), "", casm.At("time", "hour")).
+		Sliding("moving", casm.Agg(casm.Sum), "hourly", casm.Window("time", -2, 0),
+			casm.At("time", "hour")).
+		Done()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One event in hour 0, two in hour 1, three in hour 2.
+	var records []casm.Record
+	for hour, n := range []int{1, 2, 3} {
+		for i := 0; i < n; i++ {
+			records = append(records, casm.Record{int64(i % 4), int64(hour * 3600)})
+		}
+	}
+	engine, err := casm.NewEngine(casm.Config{NumReducers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Run(query, casm.MemoryDataset(schema, records, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Measures["moving"] {
+		fmt.Printf("%s = %.0f\n", schema.FormatRegion(r.Region), r.Value)
+	}
+	// Output:
+	// [time=0@hour] = 1
+	// [time=1@hour] = 3
+	// [time=2@hour] = 6
+}
+
+// ExampleParseQuery shows the CQL text form of the same query and the
+// overlapping distribution key it induces.
+func ExampleParseQuery() {
+	schema := casm.NewSchema(
+		casm.MustAttribute("kind", casm.Nominal, 4, casm.Level{Name: "id", Span: 1}),
+		casm.TimeAttribute("time", 1),
+	)
+	query, err := casm.ParseQuery(schema, `
+		MEASURE hourly = COUNT(*) AT (time:hour);
+		MEASURE moving = WINDOW SUM(hourly) OVER time(-2, 0) AT (time:hour);
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	key, err := casm.DeriveKey(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(key.Format(schema))
+	// Output:
+	// <time:hour(-2,0)>
+}

@@ -1,0 +1,3 @@
+module github.com/casm-project/casm
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package core is the paper's parallel evaluation engine for composite
+// subset measure queries (ICDE'08, Section III): it plans a distribution
+// key and clustering factor with the optimizer, redistributes the raw
+// records into (possibly overlapping) blocks of cube space with a single
+// MapReduce job, evaluates the entire aggregation workflow locally inside
+// each block with the [4] sort/scan subroutine, and filters each block's
+// output so the final answer is the duplicate-free union of local results
+// — no join or combination step is ever needed.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/casm-project/casm/internal/costmodel"
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/distkey"
+	"github.com/casm-project/casm/internal/localeval"
+	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/optimizer"
+	"github.com/casm-project/casm/internal/recio"
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// SortMode selects how the in-group sort of the local algorithm is paid
+// for (Section III-D / Figure 4(d)).
+type SortMode int
+
+const (
+	// TwoPassSort ships plain block keys; the reducer re-sorts each
+	// group's records before local evaluation (the paper's unmodified-
+	// Hadoop default).
+	TwoPassSort SortMode = iota
+	// CombinedKeySort appends the record's own encoding to the shuffle
+	// key so the framework's sort already orders records within blocks,
+	// eliminating the second sort.
+	CombinedKeySort
+)
+
+// Stage stops the pipeline early, reproducing the Figure 4(d) cost
+// breakdown.
+type Stage int
+
+const (
+	// StageFull runs everything.
+	StageFull Stage = iota
+	// StageMapOnly only fetches and maps ("Map-Only").
+	StageMapOnly
+	// StageShuffle shuffles and groups by the distribution key but skips
+	// the in-group sort and evaluation ("MR").
+	StageShuffle
+	// StageSort additionally sorts within each group but skips the
+	// evaluation scan ("Sort").
+	StageSort
+)
+
+// EarlyAggMode controls map-side early aggregation (Section III-D).
+type EarlyAggMode int
+
+const (
+	// EarlyAggOff ships raw records.
+	EarlyAggOff EarlyAggMode = iota
+	// EarlyAggOn requires early aggregation and fails when the workflow
+	// does not support it.
+	EarlyAggOn
+	// EarlyAggAuto enables it when the workflow supports it.
+	EarlyAggAuto
+)
+
+// SkewMode selects the Section V run-time skew strategy.
+type SkewMode int
+
+const (
+	// SkewNone trusts the model's plan.
+	SkewNone SkewMode = iota
+	// SkewSampling samples the input, simulates the dispatch for every
+	// candidate plan, and picks the most balanced one.
+	SkewSampling
+)
+
+// Config tunes the engine.
+type Config struct {
+	// NumReducers is the number of reduce tasks (the paper's m). Required.
+	NumReducers int
+	// MapParallelism / ReduceParallelism bound real concurrency
+	// (default GOMAXPROCS each).
+	MapParallelism    int
+	ReduceParallelism int
+	// Transport picks the shuffle implementation (default in-memory).
+	Transport transport.Factory
+	// EarlyAggregation selects the combiner mode (default off).
+	EarlyAggregation EarlyAggMode
+	// SortMode selects two-pass vs combined-key sorting (default two-pass,
+	// matching the paper's unmodified MapReduce).
+	SortMode SortMode
+	// LocalScan selects the local evaluator's group-construction strategy
+	// (default hash; localeval.ChainScan streams contiguous groups off a
+	// grain-derived sort order, closer to [4]'s single sort+scan). Chain
+	// scanning performs its own sort, so it supersedes CombinedKeySort.
+	LocalScan localeval.ScanMode
+	// Stage optionally stops the pipeline early (default full).
+	Stage Stage
+	// SkewMode selects run-time skew handling (default none).
+	SkewMode SkewMode
+	// SampleSize bounds the skew-detection sample (default 2000 records).
+	SampleSize int
+	// MinBlocksPerReducer is the paper's "2Blocks"/"4Blocks" heuristic
+	// (0 = off).
+	MinBlocksPerReducer int64
+	// ForceKey/ForceCF override the optimizer (benchmarks sweeping the
+	// clustering factor use these). ForceCF without ForceKey applies to
+	// the optimizer's chosen key.
+	ForceKey *distkey.Key
+	ForceCF  int64
+	// SortMemoryItems bounds the reducer's in-memory sort (default 1<<20).
+	SortMemoryItems int
+	// TempDir hosts spill files.
+	TempDir string
+	// Cluster parameterizes the simulated-time estimate (zero value =
+	// the paper's 100-machine cluster).
+	Cluster costmodel.Cluster
+	// Cache, when non-nil, reuses previously successful plans (Section V).
+	Cache *optimizer.PlanCache
+	// Seed drives sampling.
+	Seed int64
+	// FailureInjector, when non-nil, is invoked at each map-task start
+	// (task label, attempt); returning an error crashes that attempt and
+	// exercises the substrate's bounded retry. Tests only.
+	FailureInjector func(task string, attempt int) error
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NumReducers < 1 {
+		return c, fmt.Errorf("core: NumReducers %d < 1", c.NumReducers)
+	}
+	if c.SampleSize < 1 {
+		c.SampleSize = 2000
+	}
+	if c.Cluster.Machines == 0 {
+		c.Cluster = costmodel.DefaultCluster()
+	}
+	return c, nil
+}
+
+// Engine evaluates workflows under one configuration.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: c}, nil
+}
+
+// Dataset couples a schema with a raw-record input.
+type Dataset struct {
+	Schema *cube.Schema
+	Input  mr.Input
+	// NumRecords is the dataset cardinality (the optimizer's N). When 0,
+	// the engine counts records with one extra scan.
+	NumRecords int64
+}
+
+// MeasureRecord is one <region, value> result.
+type MeasureRecord struct {
+	Region cube.Region
+	Value  float64
+}
+
+// Result is a completed evaluation.
+type Result struct {
+	// Measures maps measure names to their records, each sorted by
+	// region key.
+	Measures map[string][]MeasureRecord
+	// Plan is the executed plan.
+	Plan optimizer.Plan
+	// SampledPlan indicates the plan came from simulated dispatch.
+	SampledPlan bool
+	// EarlyAggregated indicates the combiner ran.
+	EarlyAggregated bool
+	// Stats are the substrate's per-task counters.
+	Stats mr.JobStats
+	// Estimate is the simulated response time on the configured cluster.
+	Estimate costmodel.Estimate
+	// SampleSeconds is the simulated cost of the sampling pass (0 when
+	// sampling is off); the paper reports ~10 s per dataset.
+	SampleSeconds float64
+}
+
+// TotalRecords returns the total number of measure records.
+func (r *Result) TotalRecords() int64 {
+	var n int64
+	for _, ms := range r.Measures {
+		n += int64(len(ms))
+	}
+	return n
+}
+
+// decodePool recycles per-record decode buffers across map invocations.
+var decodePool = sync.Pool{}
+
+func getRecordBuf(arity int) cube.Record {
+	if v := decodePool.Get(); v != nil {
+		if rec := v.(cube.Record); len(rec) == arity {
+			return rec
+		}
+	}
+	return make(cube.Record, arity)
+}
+
+func putRecordBuf(rec cube.Record) { decodePool.Put(rec) }
+
+// CountRecords scans the dataset once and returns its cardinality.
+func CountRecords(ds *Dataset) (int64, error) {
+	splits, err := ds.Input.Splits()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, sp := range splits {
+		it, err := sp.Open()
+		if err != nil {
+			return 0, err
+		}
+		for {
+			_, ok, err := it.Next()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				break
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// MemoryDataset wraps in-memory records as a dataset with the given
+// number of splits.
+func MemoryDataset(schema *cube.Schema, records []cube.Record, splits int) *Dataset {
+	raw := make([][]byte, len(records))
+	for i, r := range records {
+		raw[i] = recio.AppendRecord(nil, r)
+	}
+	return &Dataset{
+		Schema:     schema,
+		Input:      mr.NewMemoryInput(raw, splits),
+		NumRecords: int64(len(records)),
+	}
+}

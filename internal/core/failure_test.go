@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/workload"
+)
+
+// TestEngineSurvivesMapTaskCrashes: transient task-start failures retry
+// and the answer stays exact.
+func TestEngineSurvivesMapTaskCrashes(t *testing.T) {
+	su := workload.NewSuite()
+	records := su.Generate(1500, workload.Uniform, 51)
+	ds := MemoryDataset(su.Schema, records, 6)
+	w := su.Q5()
+	want := oracle(t, w, records)
+
+	var crashes atomic.Int32
+	cfg := Config{
+		NumReducers: 3,
+		TempDir:     t.TempDir(),
+		FailureInjector: func(task string, attempt int) error {
+			// Every task fails its first attempt.
+			if attempt == 1 {
+				crashes.Add(1)
+				return fmt.Errorf("injected crash of %s", task)
+			}
+			return nil
+		},
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(w, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashes.Load() == 0 {
+		t.Fatal("injector never fired")
+	}
+	compare(t, "after crashes", want, flatten(res))
+	for _, m := range res.Stats.MapTasks {
+		if m.Attempts != 2 {
+			t.Errorf("task %s took %d attempts, want 2", m.Task, m.Attempts)
+		}
+	}
+}
+
+// TestEnginePermanentFailureSurfaces: a task failing every attempt aborts
+// the job with a useful error instead of silently dropping data.
+func TestEnginePermanentFailureSurfaces(t *testing.T) {
+	su := workload.NewSuite()
+	ds := MemoryDataset(su.Schema, su.Generate(500, workload.Uniform, 1), 4)
+	cfg := Config{
+		NumReducers: 2,
+		TempDir:     t.TempDir(),
+		FailureInjector: func(task string, attempt int) error {
+			if task == "mem-2" {
+				return fmt.Errorf("disk on fire")
+			}
+			return nil
+		},
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Run(su.Q1(), ds)
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestEngineReadsThroughReplicaLoss: losing DFS nodes (but not every
+// replica) must not change the result.
+func TestEngineReadsThroughReplicaLoss(t *testing.T) {
+	su := workload.NewSuite()
+	records := su.Generate(2000, workload.Uniform, 13)
+	fs, err := dfs.New(dfs.Config{BlockSize: 4096, Replication: 3, NumNodes: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteDFS(fs, "data", records, 4096); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Dataset {
+		return &Dataset{Schema: su.Schema, Input: mr.NewDFSInput(fs, "data"), NumRecords: int64(len(records))}
+	}
+	w := su.Q2()
+	want := oracle(t, w, records)
+
+	// Healthy run.
+	res1 := runEngine(t, Config{NumReducers: 3}, w, mk())
+	compare(t, "healthy", want, flatten(res1))
+
+	// Two of six nodes down: every block still has a live replica
+	// (replication 3), so the run succeeds with the same answer.
+	fs.FailNode(0)
+	fs.FailNode(1)
+	res2 := runEngine(t, Config{NumReducers: 3}, w, mk())
+	compare(t, "degraded", want, flatten(res2))
+
+	// Losing enough nodes to kill some block's last replica fails the
+	// job loudly.
+	fs.FailNode(2)
+	fs.FailNode(3)
+	fs.FailNode(4)
+	fs.FailNode(5)
+	eng, err := NewEngine(Config{NumReducers: 3, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(w, mk()); err == nil {
+		t.Fatal("run succeeded with all storage nodes down")
+	}
+}

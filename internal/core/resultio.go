@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/recio"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// SaveResults persists a result's measure records as a block-aligned DFS
+// file, the way the paper's jobs write their output back to the
+// distributed file system. Records are framed as
+// uvarint(len(measure)) ‖ measure ‖ coords ‖ float64(value) and sorted by
+// (measure, region key) so files are deterministic.
+func SaveResults(fs *dfs.FS, name string, res *Result, blockSize int) error {
+	type row struct {
+		measure string
+		payload []byte
+	}
+	var rows []row
+	for m, records := range res.Measures {
+		for _, r := range records {
+			buf := make([]byte, 0, len(m)+2+len(r.Region.Coord)*3+8)
+			var tmp [binary.MaxVarintLen64]byte
+			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(m)))]...)
+			buf = append(buf, m...)
+			buf = append(buf, encodeMeasureRecord(r.Region.Coord, r.Value)...)
+			rows = append(rows, row{measure: m, payload: buf})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		return string(rows[i].payload) < string(rows[j].payload)
+	})
+
+	var data []byte
+	blockStart := 0
+	for _, r := range rows {
+		frameLen := len(r.payload) + binary.MaxVarintLen64
+		if len(data)-blockStart+frameLen > blockSize {
+			pad := blockSize - (len(data) - blockStart)
+			data = append(data, make([]byte, pad)...)
+			blockStart = len(data)
+		}
+		var err error
+		data, err = recio.AppendFrame(data, r.payload)
+		if err != nil {
+			return err
+		}
+	}
+	return fs.Write(name, data)
+}
+
+// LoadResults reads a file written by SaveResults, resolving measure
+// grains through the workflow.
+func LoadResults(fs *dfs.FS, name string, w *workflow.Workflow) (map[string][]MeasureRecord, error) {
+	blocks, err := fs.Blocks(name)
+	if err != nil {
+		return nil, err
+	}
+	arity := w.Schema().NumAttrs()
+	out := make(map[string][]MeasureRecord)
+	for _, b := range blocks {
+		data, err := fs.ReadBlock(name, b.Index)
+		if err != nil {
+			return nil, err
+		}
+		fr := recio.NewFrameReader(data)
+		for {
+			payload, ok, err := fr.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			nameLen, n := binary.Uvarint(payload)
+			if n <= 0 || uint64(len(payload[n:])) < nameLen {
+				return nil, fmt.Errorf("core: corrupt result frame in %q", name)
+			}
+			mName := string(payload[n : n+int(nameLen)])
+			m, okM := w.Measure(mName)
+			if !okM {
+				return nil, fmt.Errorf("core: result for unknown measure %q", mName)
+			}
+			coords, v, err := decodeMeasureRecord(payload[n+int(nameLen):], arity)
+			if err != nil {
+				return nil, err
+			}
+			out[mName] = append(out[mName], MeasureRecord{
+				Region: cube.Region{Grain: m.Grain, Coord: coords},
+				Value:  v,
+			})
+		}
+	}
+	return out, nil
+}

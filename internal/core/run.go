@@ -1,0 +1,551 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/casm-project/casm/internal/costmodel"
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/distkey"
+	"github.com/casm-project/casm/internal/localeval"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/optimizer"
+	"github.com/casm-project/casm/internal/recio"
+	"github.com/casm-project/casm/internal/stats"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// PlanOutcome carries the plan chosen for a run and how it was found.
+type PlanOutcome struct {
+	Plan          optimizer.Plan
+	Sampled       bool
+	FromCache     bool
+	SampleSeconds float64
+}
+
+// Plan chooses the execution plan for the workflow over the dataset,
+// applying the plan cache, the cost-model optimizer, forced overrides,
+// and (optionally) sampling-based skew handling, in that order.
+func (e *Engine) Plan(w *workflow.Workflow, ds *Dataset) (PlanOutcome, error) {
+	n := ds.NumRecords
+	if n == 0 {
+		counted, err := CountRecords(ds)
+		if err != nil {
+			return PlanOutcome{}, err
+		}
+		if counted == 0 {
+			counted = 1
+		}
+		n = counted
+	}
+	optCfg := optimizer.Config{
+		NumReducers:         e.cfg.NumReducers,
+		TotalRecords:        n,
+		MinBlocksPerReducer: e.cfg.MinBlocksPerReducer,
+	}
+
+	if e.cfg.Cache != nil && e.cfg.ForceKey == nil {
+		minimal, _, err := distkey.Derive(w)
+		if err != nil {
+			return PlanOutcome{}, err
+		}
+		if key, cf, ok := e.cfg.Cache.Lookup(ds.Schema, minimal); ok {
+			cand, err := optimizer.ScoreKey(ds.Schema, key, optCfg)
+			if err != nil {
+				return PlanOutcome{}, err
+			}
+			return PlanOutcome{
+				Plan: optimizer.Plan{
+					Key: key, ClusteringFactor: cf,
+					PredictedWorkload: cand.Workload, Blocks: cand.Blocks,
+					Candidates: []optimizer.Candidate{cand},
+				},
+				FromCache: true,
+			}, nil
+		}
+	}
+
+	plan, err := optimizer.Optimize(w, optCfg)
+	if err != nil {
+		return PlanOutcome{}, err
+	}
+
+	if e.cfg.ForceKey != nil {
+		cand, err := optimizer.ScoreKey(ds.Schema, *e.cfg.ForceKey, optCfg)
+		if err != nil {
+			return PlanOutcome{}, err
+		}
+		plan = optimizer.Plan{
+			Key: *e.cfg.ForceKey, ClusteringFactor: cand.ClusteringFactor,
+			PredictedWorkload: cand.Workload, Blocks: cand.Blocks,
+			Candidates: []optimizer.Candidate{cand},
+		}
+	}
+	if e.cfg.ForceCF > 0 {
+		if !plan.Key.IsOverlapping() && e.cfg.ForceCF != 1 {
+			return PlanOutcome{}, fmt.Errorf("core: ForceCF %d needs an overlapping key", e.cfg.ForceCF)
+		}
+		plan.ClusteringFactor = e.cfg.ForceCF
+		plan.PredictedWorkload = optimizer.PredictWorkload(ds.Schema, plan.Key, e.cfg.ForceCF, optCfg)
+	}
+
+	out := PlanOutcome{Plan: plan}
+	if e.cfg.SkewMode == SkewSampling && e.cfg.ForceKey == nil && e.cfg.ForceCF == 0 {
+		sample, bytesRead, err := sampleDataset(ds, e.cfg.SampleSize, e.cfg.Seed)
+		if err != nil {
+			return PlanOutcome{}, err
+		}
+		choice, err := optimizer.ChooseBySampling(ds.Schema, plan, sample, e.cfg.NumReducers, nil)
+		if err != nil {
+			return PlanOutcome{}, err
+		}
+		out.Plan = choice.Plan
+		out.Sampled = true
+		m := e.cfg.Cluster.Machine
+		out.SampleSeconds = float64(bytesRead)/(m.DiskMBps*(1<<20)) +
+			float64(len(plan.Candidates)*len(sample))*m.MapSecPerRecord + 2*m.TaskOverheadSec
+	}
+	if e.cfg.Cache != nil {
+		e.cfg.Cache.Store(out.Plan.Key, out.Plan.ClusteringFactor)
+	}
+	return out, nil
+}
+
+// sampleDataset reservoir-samples up to n records from a handful of
+// evenly spaced splits, the way the paper's mappers sample the data they
+// acquire before the simulated dispatch.
+func sampleDataset(ds *Dataset, n int, seed int64) ([]cube.Record, int64, error) {
+	splits, err := ds.Input.Splits()
+	if err != nil {
+		return nil, 0, err
+	}
+	res := stats.NewReservoir[cube.Record](n, seed)
+	var bytesRead int64
+	stride := len(splits) / 8
+	if stride < 1 {
+		stride = 1
+	}
+	arity := ds.Schema.NumAttrs()
+	for i := 0; i < len(splits); i += stride {
+		sp := splits[i]
+		it, err := sp.Open()
+		if err != nil {
+			return nil, 0, err
+		}
+		bytesRead += sp.SizeBytes()
+		for {
+			raw, ok, err := it.Next()
+			if err != nil {
+				return nil, 0, err
+			}
+			if !ok {
+				break
+			}
+			rec, err := recio.DecodeRecord(raw, arity)
+			if err != nil {
+				return nil, 0, err
+			}
+			res.Add(rec)
+		}
+	}
+	return res.Sample(), bytesRead, nil
+}
+
+// Run plans and executes the workflow over the dataset.
+func (e *Engine) Run(w *workflow.Workflow, ds *Dataset) (*Result, error) {
+	outcome, err := e.Plan(w, ds)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunWithPlan(w, ds, outcome)
+}
+
+// RunWithPlan executes the workflow under an explicit plan outcome.
+func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutcome) (*Result, error) {
+	s := ds.Schema
+	plan := outcome.Plan
+	bm, err := distkey.NewBlockMapper(s, plan.Key, plan.ClusteringFactor)
+	if err != nil {
+		return nil, fmt.Errorf("core: plan not executable: %w", err)
+	}
+	ev, err := localeval.New(w)
+	if err != nil {
+		return nil, err
+	}
+
+	early := false
+	switch e.cfg.EarlyAggregation {
+	case EarlyAggOn:
+		if err := ev.SupportsEarlyAggregation(); err != nil {
+			return nil, err
+		}
+		early = true
+	case EarlyAggAuto:
+		early = ev.SupportsEarlyAggregation() == nil
+	}
+	combined := e.cfg.SortMode == CombinedKeySort && !early
+
+	arity := s.NumAttrs()
+	basics := w.Basics()
+
+	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
+		rec := getRecordBuf(arity)
+		defer putRecordBuf(rec)
+		if err := recio.DecodeRecordInto(raw, rec); err != nil {
+			return err
+		}
+		var emitErr error
+		bm.BlocksFor(rec, func(block string) {
+			if emitErr != nil {
+				return
+			}
+			key := block
+			if combined {
+				key = block + string(raw)
+			}
+			emitErr = ctx.Emit(key, raw)
+		})
+		return emitErr
+	}
+
+	var combineFn mr.CombineFunc
+	if early {
+		combineFn = makeCombiner(s, basics)
+	}
+
+	reduceFn := func(ctx *mr.ReduceCtx, blockKey string, values *mr.GroupIter) error {
+		switch e.cfg.Stage {
+		case StageShuffle:
+			return values.Drain()
+		case StageSort:
+			records, err := collectRecords(values, arity)
+			if err != nil {
+				return err
+			}
+			localeval.SortRecords(records)
+			ctx.Stats.GroupSortItems += int64(len(records))
+			return nil
+		}
+		var results []localeval.Result
+		var est localeval.Stats
+		if early {
+			groups, pairs, err := collectPartials(values, basics, arity)
+			if err != nil {
+				return err
+			}
+			results, est, err = ev.EvaluateFromBasics(groups)
+			if err != nil {
+				return err
+			}
+			ctx.Stats.EvalRecords += pairs
+			// Merging the partial states requires grouping them by
+			// (measure, region); Hadoop does this by sorting, so the cost
+			// model prices it like the in-group sort it replaces.
+			ctx.Stats.GroupSortItems += pairs
+		} else {
+			records, err := collectRecords(values, arity)
+			if err != nil {
+				return err
+			}
+			results, est, err = ev.Evaluate(records, localeval.Options{
+				SkipSort: combined,
+				Scan:     e.cfg.LocalScan,
+			})
+			if err != nil {
+				return err
+			}
+			ctx.Stats.EvalRecords += est.ScannedRecords
+		}
+		ctx.Stats.GroupSortItems += est.SortedItems
+		// Ownership filter (Section III-B.2): only the block owning a
+		// result's region may output it; duplicated and partial results in
+		// overlapping neighbours are dropped here.
+		for _, r := range results {
+			if bm.Owner(r.Region) != blockKey {
+				continue
+			}
+			ctx.Emit(r.Measure, encodeMeasureRecord(r.Region.Coord, r.Value))
+		}
+		return nil
+	}
+
+	job := mr.Job{
+		Name:   "casm",
+		Input:  ds.Input,
+		Map:    mapFn,
+		Reduce: reduceFn,
+		Config: mr.Config{
+			NumReducers:       e.cfg.NumReducers,
+			MapParallelism:    e.cfg.MapParallelism,
+			ReduceParallelism: e.cfg.ReduceParallelism,
+			Transport:         e.cfg.Transport,
+			Combine:           combineFn,
+			ShuffleDisabled:   e.cfg.Stage == StageMapOnly,
+			SortMemoryItems:   e.cfg.SortMemoryItems,
+			TempDir:           e.cfg.TempDir,
+			GroupBy: func(key string) string {
+				if !combined {
+					return key
+				}
+				return blockPrefix(key, arity)
+			},
+			FailureInjector: e.cfg.FailureInjector,
+		},
+	}
+	if e.cfg.Stage == StageMapOnly {
+		job.Reduce = nil
+	}
+	res, err := mr.Run(job)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Measures:        make(map[string][]MeasureRecord, len(w.Measures())),
+		Plan:            plan,
+		SampledPlan:     outcome.Sampled,
+		EarlyAggregated: early,
+		Stats:           res.Stats,
+		SampleSeconds:   outcome.SampleSeconds,
+	}
+	for _, p := range res.Output {
+		m, ok := w.Measure(p.Key)
+		if !ok {
+			return nil, fmt.Errorf("core: output for unknown measure %q", p.Key)
+		}
+		coords, v, err := decodeMeasureRecord(p.Value, arity)
+		if err != nil {
+			return nil, err
+		}
+		out.Measures[p.Key] = append(out.Measures[p.Key], MeasureRecord{
+			Region: cube.Region{Grain: m.Grain, Coord: coords},
+			Value:  v,
+		})
+	}
+	for name := range out.Measures {
+		ms := out.Measures[name]
+		sort.Slice(ms, func(i, j int) bool {
+			return cube.EncodeCoords(ms[i].Region.Coord) < cube.EncodeCoords(ms[j].Region.Coord)
+		})
+	}
+	out.Estimate = EstimateFromStats(e.cfg.Cluster, res.Stats)
+	out.Estimate.ReduceSeconds += outcome.SampleSeconds
+	return out, nil
+}
+
+// EstimateFromStats converts substrate counters into a simulated response
+// time on the given cluster.
+func EstimateFromStats(c costmodel.Cluster, js mr.JobStats) costmodel.Estimate {
+	mw := make([]costmodel.MapWork, len(js.MapTasks))
+	for i, t := range js.MapTasks {
+		mw[i] = costmodel.MapWork{
+			BytesRead:    t.BytesRead,
+			Records:      t.Records,
+			PairsOut:     t.PairsOut,
+			BytesOut:     t.BytesOut,
+			CombineItems: t.CombineInputs,
+		}
+	}
+	rw := make([]costmodel.ReduceWork, len(js.ReduceTasks))
+	for i, t := range js.ReduceTasks {
+		rw[i] = costmodel.ReduceWork{
+			BytesIn:        t.BytesIn,
+			PairsIn:        t.PairsIn,
+			SortItems:      t.SortItems,
+			SpillBytes:     t.SpillBytes,
+			GroupSortItems: t.GroupSortItems,
+			GroupSpill:     t.GroupSpillBytes,
+			EvalRecords:    t.EvalRecords,
+			OutputRecords:  t.OutputRecords,
+		}
+	}
+	return costmodel.EstimateJob(c, mw, rw)
+}
+
+// --- payload codecs ---
+
+// encodeMeasureRecord packs region coordinates and the value.
+func encodeMeasureRecord(coords []int64, v float64) []byte {
+	buf := []byte(cube.EncodeCoords(coords))
+	var f [8]byte
+	binary.LittleEndian.PutUint64(f[:], math.Float64bits(v))
+	return append(buf, f[:]...)
+}
+
+func decodeMeasureRecord(b []byte, arity int) ([]int64, float64, error) {
+	if len(b) < 8 {
+		return nil, 0, fmt.Errorf("core: truncated measure record")
+	}
+	coords, err := cube.DecodeCoords(string(b[:len(b)-8]), arity)
+	if err != nil {
+		return nil, 0, err
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b[len(b)-8:]))
+	return coords, v, nil
+}
+
+// blockPrefix extracts the block-key prefix (arity uvarints) from a
+// combined shuffle key.
+func blockPrefix(key string, arity int) string {
+	off := 0
+	for i := 0; i < arity; i++ {
+		for off < len(key) && key[off] >= 0x80 {
+			off++
+		}
+		off++ // terminating byte
+	}
+	if off > len(key) {
+		off = len(key)
+	}
+	return key[:off]
+}
+
+// partialTag prefixes early-aggregation payloads.
+const partialTag = 1
+
+// makeCombiner returns the early-aggregation combine function: raw
+// records buffered for one block are partially aggregated per basic
+// measure and region, and shipped as tagged partial states.
+func makeCombiner(s *cube.Schema, basics []*workflow.Measure) mr.CombineFunc {
+	arity := s.NumAttrs()
+	return func(blockKey string, values [][]byte) ([][]byte, error) {
+		type group struct {
+			coords []int64
+			agg    measure.Aggregator
+		}
+		perBasic := make([]map[string]*group, len(basics))
+		for i := range perBasic {
+			perBasic[i] = make(map[string]*group)
+		}
+		rec := make(cube.Record, arity)
+		coord := make([]int64, arity)
+		for _, raw := range values {
+			if err := recio.DecodeRecordInto(raw, rec); err != nil {
+				return nil, err
+			}
+			for i, b := range basics {
+				s.CoordOf(rec, b.Grain, coord)
+				k := cube.EncodeCoords(coord)
+				g, ok := perBasic[i][k]
+				if !ok {
+					g = &group{coords: append([]int64(nil), coord...), agg: b.Agg.New()}
+					perBasic[i][k] = g
+				}
+				if b.InputAttr >= 0 {
+					g.agg.Add(float64(rec[b.InputAttr]))
+				} else {
+					g.agg.Add(0)
+				}
+			}
+		}
+		var out [][]byte
+		for i := range basics {
+			for _, g := range perBasic[i] {
+				out = append(out, encodePartial(i, g.coords, g.agg.State()))
+			}
+		}
+		return out, nil
+	}
+}
+
+func encodePartial(basicIdx int, coords []int64, state []byte) []byte {
+	buf := []byte{partialTag}
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(basicIdx))]...)
+	ck := cube.EncodeCoords(coords)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(ck)))]...)
+	buf = append(buf, ck...)
+	return append(buf, state...)
+}
+
+func decodePartial(b []byte, arity int) (int, []int64, []byte, error) {
+	if len(b) < 2 || b[0] != partialTag {
+		return 0, nil, nil, fmt.Errorf("core: not a partial payload")
+	}
+	b = b[1:]
+	idx, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, nil, fmt.Errorf("core: corrupt partial index")
+	}
+	b = b[n:]
+	ckLen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) < ckLen {
+		return 0, nil, nil, fmt.Errorf("core: corrupt partial coords")
+	}
+	b = b[n:]
+	coords, err := cube.DecodeCoords(string(b[:ckLen]), arity)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return int(idx), coords, b[ckLen:], nil
+}
+
+// collectRecords materializes a group's raw records.
+func collectRecords(values *mr.GroupIter, arity int) ([]cube.Record, error) {
+	var records []cube.Record
+	for {
+		p, ok, err := values.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return records, nil
+		}
+		rec, err := recio.DecodeRecord(p.Value, arity)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, rec)
+	}
+}
+
+// collectPartials materializes and merges a group's partial aggregates.
+func collectPartials(values *mr.GroupIter, basics []*workflow.Measure, arity int) (map[string][]localeval.BasicGroup, int64, error) {
+	type group struct {
+		coords []int64
+		agg    measure.Aggregator
+	}
+	perBasic := make([]map[string]*group, len(basics))
+	for i := range perBasic {
+		perBasic[i] = make(map[string]*group)
+	}
+	var pairs int64
+	for {
+		p, ok, err := values.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		pairs++
+		idx, coords, state, err := decodePartial(p.Value, arity)
+		if err != nil {
+			return nil, 0, err
+		}
+		if idx < 0 || idx >= len(basics) {
+			return nil, 0, fmt.Errorf("core: partial for unknown basic %d", idx)
+		}
+		k := cube.EncodeCoords(coords)
+		g, okg := perBasic[idx][k]
+		if !okg {
+			g = &group{coords: coords, agg: basics[idx].Agg.New()}
+			perBasic[idx][k] = g
+		}
+		if err := g.agg.MergeState(state); err != nil {
+			return nil, 0, err
+		}
+	}
+	out := make(map[string][]localeval.BasicGroup, len(basics))
+	for i, b := range basics {
+		groups := make([]localeval.BasicGroup, 0, len(perBasic[i]))
+		for _, g := range perBasic[i] {
+			groups = append(groups, localeval.BasicGroup{Coords: g.coords, Agg: g.agg})
+		}
+		out[b.Name] = groups
+	}
+	return out, pairs, nil
+}

@@ -1,0 +1,246 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/distkey"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+func testSchema(t testing.TB) *cube.Schema {
+	t.Helper()
+	return cube.MustSchema(
+		cube.MustAttribute("keyword", cube.Nominal, 1000,
+			cube.Level{Name: "word", Span: 1},
+			cube.Level{Name: "group", Span: 50},
+		),
+		cube.MustAttribute("pages", cube.Numeric, 100, cube.Level{Name: "value", Span: 1}),
+		cube.MustAttribute("ads", cube.Numeric, 100, cube.Level{Name: "value", Span: 1}),
+		cube.TimeAttribute("time", 2),
+	)
+}
+
+const weblogCQL = `
+-- the paper's weblog analysis, M1 through M4
+MEASURE m1 = MEDIAN(pages)  AT (keyword:word, time:minute);
+MEASURE m2 = MEDIAN(ads)    AT (keyword:word, time:hour);
+MEASURE m3 = RATIO(m1, m2)  AT (keyword:word, time:minute);
+MEASURE m4 = WINDOW AVG(m3) OVER time(-9, 0) AT (keyword:word, time:minute);
+`
+
+func TestParseWeblog(t *testing.T) {
+	s := testSchema(t)
+	w, err := Parse(s, weblogCQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Measures()); got != 4 {
+		t.Fatalf("measures = %d", got)
+	}
+	m1, _ := w.Measure("m1")
+	if m1.Kind != workflow.Basic || m1.Agg.Func != measure.Median {
+		t.Errorf("m1 = %+v", m1)
+	}
+	pi, _ := s.AttrIndex("pages")
+	if m1.InputAttr != pi {
+		t.Errorf("m1 input = %d", m1.InputAttr)
+	}
+	m3, _ := w.Measure("m3")
+	if m3.Kind != workflow.Self || len(m3.Sources) != 2 {
+		t.Errorf("m3 = %+v", m3)
+	}
+	m4, _ := w.Measure("m4")
+	if m4.Kind != workflow.Sliding {
+		t.Fatalf("m4 kind = %v", m4.Kind)
+	}
+	ti, _ := s.AttrIndex("time")
+	if len(m4.Window) != 1 || m4.Window[0] != (workflow.RangeAnn{Attr: ti, Low: -9, High: 0}) {
+		t.Errorf("m4 window = %+v", m4.Window)
+	}
+	// The parsed query derives the paper's overlapping key.
+	key, _, err := distkey.Derive(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := key.Format(s); got != "<keyword:word, time:hour(-1,0)>" {
+		t.Errorf("key = %s", got)
+	}
+}
+
+func TestParseAllKinds(t *testing.T) {
+	s := testSchema(t)
+	src := `
+MEASURE base   = SUM(pages)          AT (keyword:word, time:minute);
+MEASURE cnt    = COUNT(*)            AT (keyword:word, time:minute);
+MEASURE p90    = QUANTILE(0.9, ads)  AT (keyword:group, time:hour);
+MEASURE daily  = ROLLUP AVG(base)    AT (keyword:word, time:day);
+MEASURE back   = INHERIT(daily)      AT (keyword:word, time:minute);
+MEASURE norm   = RATIO(base, back)   AT (keyword:word, time:minute);
+MEASURE trend  = WINDOW SUM(base) OVER time(-4, 0) AT (keyword:word, time:minute);
+`
+	w, err := Parse(s, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[workflow.Kind]int{}
+	for _, m := range w.Measures() {
+		kinds[m.Kind]++
+	}
+	if kinds[workflow.Basic] != 3 || kinds[workflow.Rollup] != 1 ||
+		kinds[workflow.Inherit] != 1 || kinds[workflow.Self] != 1 || kinds[workflow.Sliding] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	p90, _ := w.Measure("p90")
+	if p90.Agg.Func != measure.Quantile || p90.Agg.Arg != 0.9 {
+		t.Errorf("p90 agg = %+v", p90.Agg)
+	}
+	cnt, _ := w.Measure("cnt")
+	if cnt.InputAttr != -1 {
+		t.Errorf("count input = %d", cnt.InputAttr)
+	}
+}
+
+func TestParseMultiAttributeWindow(t *testing.T) {
+	s := testSchema(t)
+	src := `
+MEASURE base = SUM(ads) AT (pages:value, time:minute);
+MEASURE w2   = WINDOW AVG(base) OVER time(-3, 0), pages(-1, 1) AT (pages:value, time:minute);
+`
+	w, err := Parse(s, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.Measure("w2")
+	if len(m.Window) != 2 {
+		t.Fatalf("window clauses = %d", len(m.Window))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		src  string
+		want string // substring of the error
+	}{
+		{"MEASURE = SUM(pages) AT (time:minute);", "identifier"},
+		{"MEASURE m SUM(pages) AT (time:minute);", `"="`},
+		{"MEASURE m = BOGUS(pages) AT (time:minute);", "unknown function"},
+		{"MEASURE m = SUM(nope) AT (time:minute);", "unknown attribute"},
+		{"MEASURE m = SUM(pages) AT (time:eon);", "no level"},
+		{"MEASURE m = SUM(pages) AT (ghost:value);", "unknown attribute"},
+		{"MEASURE m = SUM(pages) AT (time:minute)", `";"`},
+		{"MEASURE m = RATIO(a, b) AT (time:minute);", "unknown measure"},
+		{"MEASURE m = SUM(*) AT (time:minute);", "only COUNT"},
+		{"MEASURE m = SUM(pages) AT (time:minute);\nMEASURE n = SUM(m) AT (time:hour);", "use ROLLUP"},
+		{"MEASURE m = SUM(pages) AT (time:minute);\nMEASURE n = WINDOW SUM(m) OVER ghost(-1,0) AT (time:minute);", "unknown attribute"},
+		{"MEASURE m = SUM(pages) AT (keyword:word, time:minute);\nMEASURE n = WINDOW SUM(m) OVER keyword(-1,0) AT (keyword:word, time:minute);", "nominal"},
+		{"measure m = sum(pages) at (time:minute); @", "unexpected character"},
+		{"", "no measures"},
+		{"MEASURE m = QUANTILE(1.5, pages) AT (time:minute);", "quantile"},
+	}
+	for i, c := range cases {
+		_, err := Parse(s, c.src)
+		if err == nil {
+			t.Errorf("case %d: no error for %q", i, c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, c.want)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywordsAndComments(t *testing.T) {
+	s := testSchema(t)
+	// Keywords are case-insensitive; attribute/level/measure identifiers
+	// are case-sensitive.
+	src := `
+# hash comment
+measure M1 = sum(pages) at (time:minute); -- trailing comment
+Measure M2 = Rollup Max(M1) At (time:hour);
+`
+	w, err := Parse(s, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Measure("M2"); !ok {
+		t.Fatal("M2 missing")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	w1, err := Parse(s, weblogCQL+`
+MEASURE extra = QUANTILE(0.75, pages) AT (keyword:group);
+MEASURE cnt   = COUNT(*) AT (keyword:ALL);
+MEASURE up    = ROLLUP SUM(m1) AT (keyword:word, time:day);
+MEASURE down  = INHERIT(up) AT (keyword:word, time:minute);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(w1)
+	w2, err := Parse(s, text)
+	if err != nil {
+		t.Fatalf("round trip parse failed: %v\n%s", err, text)
+	}
+	if len(w1.Measures()) != len(w2.Measures()) {
+		t.Fatalf("measure counts differ: %d vs %d", len(w1.Measures()), len(w2.Measures()))
+	}
+	for i, m1 := range w1.Measures() {
+		m2 := w2.Measures()[i]
+		if m1.Name != m2.Name || m1.Kind != m2.Kind || !m1.Grain.Equal(m2.Grain) ||
+			m1.Agg != m2.Agg || m1.InputAttr != m2.InputAttr {
+			t.Errorf("measure %d differs: %+v vs %+v", i, m1, m2)
+		}
+		if len(m1.Sources) != len(m2.Sources) {
+			t.Errorf("measure %d sources differ", i)
+		}
+		if len(m1.Window) != len(m2.Window) {
+			t.Errorf("measure %d windows differ", i)
+		}
+	}
+	// Formatting is stable.
+	if Format(w2) != text {
+		t.Error("Format not idempotent")
+	}
+}
+
+func TestParsePositionsInErrors(t *testing.T) {
+	s := testSchema(t)
+	_, err := Parse(s, "MEASURE m = SUM(pages)\nAT (time:minute)\nOOPS;")
+	if err == nil || !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error %v lacks line 3 position", err)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	s := testSchema(t)
+	src := `
+MEASURE base = SUM(pages) AT (time:hour);
+MEASURE pct  = SCALE(100, base) AT (time:hour);
+`
+	w, err := Parse(s, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.Measure("pct")
+	if m.Kind != workflow.Self || m.Expr.Eval([]float64{2}) != 200 {
+		t.Fatalf("pct = %+v", m)
+	}
+	// Round trip.
+	w2, err := Parse(s, Format(w))
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, Format(w))
+	}
+	m2, _ := w2.Measure("pct")
+	if m2.Expr.Eval([]float64{2}) != 200 {
+		t.Fatal("scale factor lost in round trip")
+	}
+	if _, err := Parse(s, "MEASURE x = SCALE(2, ghost) AT (time:hour);"); err == nil {
+		t.Error("unknown scale source accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package cql implements a small text query language for composite
+// subset measures, compiling to aggregation workflows. It lets the CLI
+// tools accept queries without Go code:
+//
+//	-- the paper's weblog analysis
+//	MEASURE m1 = MEDIAN(pages)  AT (keyword:word, time:minute);
+//	MEASURE m2 = MEDIAN(ads)    AT (keyword:word, time:hour);
+//	MEASURE m3 = RATIO(m1, m2)  AT (keyword:word, time:minute);
+//	MEASURE m4 = WINDOW AVG(m3) OVER time(-9, 0)
+//	                            AT (keyword:word, time:minute);
+//
+// Statements are MEASURE definitions separated by semicolons. A measure
+// body is one of:
+//
+//	AGG(attr)                      basic aggregation (COUNT(*) for counting)
+//	QUANTILE(rank, attr)           parameterized basic aggregation
+//	EXPR(m, ...)                   self measure (RATIO, ADD, SUB, MUL, IDENT)
+//	ROLLUP AGG(m)                  child/parent aggregation
+//	INHERIT(m)                     parent/child copy-down
+//	WINDOW AGG(m) OVER a(lo, hi)   sibling sliding window (multiple a(lo,hi)
+//	                               clauses may be comma-separated)
+//
+// AT names the measure's granularity; attributes not mentioned are at
+// ALL. Keywords are case-insensitive; -- and # start line comments.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // one of ( ) , : ; = * -
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %q", t.text)
+	case tokPunct:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("identifier %q", t.text)
+	}
+}
+
+// lexer tokenizes CQL source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("cql: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			l.skipLine()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			l.skipLine()
+		default:
+			goto tokenStart
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+
+tokenStart:
+	line, col := l.line, l.col
+	c := l.peek()
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.peek())) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		seenDot := false
+		for l.pos < len(l.src) {
+			p := l.peek()
+			if p == '.' && !seenDot {
+				seenDot = true
+				l.advance()
+				continue
+			}
+			if p < '0' || p > '9' {
+				break
+			}
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	case strings.IndexByte("(),:;=*-", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	default:
+		return token{}, l.errf(line, col, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.peek() != '\n' {
+		l.advance()
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// lexAll tokenizes the whole input (the grammar is small enough that
+// materializing tokens keeps the parser simple and error positions
+// exact).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

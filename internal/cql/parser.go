@@ -1,0 +1,419 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// Parse compiles CQL source into an aggregation workflow over the schema.
+func Parse(schema *cube.Schema, src string) (*workflow.Workflow, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{schema: schema, toks: toks, w: workflow.New(schema)}
+	for !p.at(tokEOF) {
+		if err := p.measureStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.w.Validate(); err != nil {
+		return nil, err
+	}
+	return p.w, nil
+}
+
+type parser struct {
+	schema *cube.Schema
+	toks   []token
+	i      int
+	w      *workflow.Workflow
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) at(k tokenKind) bool {
+	return p.cur().kind == k
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("cql: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// keyword reports whether the current token is the given case-insensitive
+// keyword, consuming it if so.
+func (p *parser) keyword(kw string) bool {
+	if p.at(tokIdent) && strings.EqualFold(p.cur().text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, got %s", strings.ToUpper(kw), p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.at(tokPunct) && p.cur().text == s {
+		p.i++
+		return nil
+	}
+	return p.errf("expected %q, got %s", s, p.cur())
+}
+
+func (p *parser) ident() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, got %s", p.cur())
+	}
+	t := p.cur()
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) integer() (int64, error) {
+	neg := false
+	if p.at(tokPunct) && p.cur().text == "-" {
+		neg = true
+		p.i++
+	}
+	if !p.at(tokNumber) {
+		return 0, p.errf("expected integer, got %s", p.cur())
+	}
+	v, err := strconv.ParseInt(p.cur().text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", p.cur().text)
+	}
+	p.i++
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) float() (float64, error) {
+	if !p.at(tokNumber) {
+		return 0, p.errf("expected number, got %s", p.cur())
+	}
+	v, err := strconv.ParseFloat(p.cur().text, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q", p.cur().text)
+	}
+	p.i++
+	return v, nil
+}
+
+// aggSpecs maps CQL aggregate keywords to measure specs.
+var aggSpecs = map[string]measure.Func{
+	"count": measure.Count, "sum": measure.Sum, "min": measure.Min,
+	"max": measure.Max, "avg": measure.Avg, "var": measure.Var,
+	"stddev": measure.StdDev, "median": measure.Median,
+	"distinct": measure.CountDistinct,
+}
+
+// exprNames lists the self-measure expression keywords.
+var exprNames = map[string]bool{
+	"ratio": true, "add": true, "sub": true, "mul": true, "ident": true,
+}
+
+// measureStmt parses: MEASURE name = body AT (grain) ;
+func (p *parser) measureStmt() error {
+	if err := p.expectKeyword("measure"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+
+	// The body determines the measure kind.
+	switch {
+	case p.keyword("rollup"):
+		agg, src, err := p.aggOfMeasure()
+		if err != nil {
+			return err
+		}
+		grain, err := p.atGrain()
+		if err != nil {
+			return err
+		}
+		if err := p.w.AddRollup(name, grain, agg, src); err != nil {
+			return err
+		}
+	case p.keyword("inherit"):
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		src, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		grain, err := p.atGrain()
+		if err != nil {
+			return err
+		}
+		if err := p.w.AddInherit(name, grain, src); err != nil {
+			return err
+		}
+	case p.keyword("window"):
+		agg, src, err := p.aggOfMeasure()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("over"); err != nil {
+			return err
+		}
+		window, err := p.windowClauses()
+		if err != nil {
+			return err
+		}
+		grain, err := p.atGrain()
+		if err != nil {
+			return err
+		}
+		if err := p.w.AddSliding(name, grain, agg, src, window...); err != nil {
+			return err
+		}
+	default:
+		if err := p.basicOrSelf(name); err != nil {
+			return err
+		}
+	}
+	return p.expectPunct(";")
+}
+
+// aggOfMeasure parses AGG(ident) where ident names a source measure.
+func (p *parser) aggOfMeasure() (measure.Spec, string, error) {
+	fn, err := p.ident()
+	if err != nil {
+		return measure.Spec{}, "", err
+	}
+	f, ok := aggSpecs[strings.ToLower(fn)]
+	if !ok {
+		return measure.Spec{}, "", p.errf("unknown aggregate %q", fn)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return measure.Spec{}, "", err
+	}
+	src, err := p.ident()
+	if err != nil {
+		return measure.Spec{}, "", err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return measure.Spec{}, "", err
+	}
+	return measure.Spec{Func: f}, src, nil
+}
+
+// basicOrSelf parses AGG(attr|*), QUANTILE(rank, attr), or EXPR(m, ...),
+// followed by AT (grain), and adds the measure.
+func (p *parser) basicOrSelf(name string) error {
+	fn, err := p.ident()
+	if err != nil {
+		return err
+	}
+	lower := strings.ToLower(fn)
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+
+	switch {
+	case lower == "quantile":
+		rank, err := p.float()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		attr, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		grain, err := p.atGrain()
+		if err != nil {
+			return err
+		}
+		return p.w.AddBasic(name, grain, measure.Spec{Func: measure.Quantile, Arg: rank}, attr)
+
+	case lower == "scale":
+		k, err := p.float()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		src, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if _, ok := p.w.Measure(src); !ok {
+			return p.errf("SCALE references unknown measure %q", src)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		grain, err := p.atGrain()
+		if err != nil {
+			return err
+		}
+		return p.w.AddSelf(name, grain, measure.Scale(k), src)
+
+	case exprNames[lower]:
+		var sources []string
+		for {
+			src, err := p.ident()
+			if err != nil {
+				return err
+			}
+			if _, ok := p.w.Measure(src); !ok {
+				return p.errf("expression %s references unknown measure %q", strings.ToUpper(lower), src)
+			}
+			sources = append(sources, src)
+			if p.at(tokPunct) && p.cur().text == "," {
+				p.i++
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		expr, err := measure.ExprByName(lower)
+		if err != nil {
+			return err
+		}
+		grain, err := p.atGrain()
+		if err != nil {
+			return err
+		}
+		return p.w.AddSelf(name, grain, expr, sources...)
+
+	default:
+		f, ok := aggSpecs[lower]
+		if !ok {
+			return p.errf("unknown function %q (aggregate, expression, ROLLUP, INHERIT, or WINDOW expected)", fn)
+		}
+		var attr string
+		if p.at(tokPunct) && p.cur().text == "*" {
+			p.i++
+			if f != measure.Count {
+				return p.errf("only COUNT accepts *")
+			}
+		} else {
+			attr, err = p.ident()
+			if err != nil {
+				return err
+			}
+			if _, isMeasure := p.w.Measure(attr); isMeasure {
+				return p.errf("%s(%s) aggregates a measure; use ROLLUP %s(%s) or WINDOW %s(%s) OVER …",
+					strings.ToUpper(lower), attr, strings.ToUpper(lower), attr, strings.ToUpper(lower), attr)
+			}
+			if _, ok := p.schema.AttrIndex(attr); !ok {
+				return p.errf("unknown attribute %q", attr)
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		grain, err := p.atGrain()
+		if err != nil {
+			return err
+		}
+		return p.w.AddBasic(name, grain, measure.Spec{Func: f}, attr)
+	}
+}
+
+// windowClauses parses attr(lo, hi) [, attr(lo, hi)]...
+func (p *parser) windowClauses() ([]workflow.RangeAnn, error) {
+	var out []workflow.RangeAnn
+	for {
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ai, ok := p.schema.AttrIndex(attr)
+		if !ok {
+			return nil, p.errf("unknown attribute %q in window", attr)
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		lo, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		hi, err := p.integer()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		out = append(out, workflow.RangeAnn{Attr: ai, Low: lo, High: hi})
+		if p.at(tokPunct) && p.cur().text == "," {
+			p.i++
+			continue
+		}
+		return out, nil
+	}
+}
+
+// atGrain parses: AT ( attr:level [, attr:level]... )
+func (p *parser) atGrain() (cube.Grain, error) {
+	if err := p.expectKeyword("at"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var specs []cube.GrainSpec
+	for {
+		attr, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		level, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, cube.GrainSpec{Attr: attr, Level: level})
+		if p.at(tokPunct) && p.cur().text == "," {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	g, err := p.schema.MakeGrain(specs...)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	return g, nil
+}

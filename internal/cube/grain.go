@@ -1,0 +1,87 @@
+package cube
+
+// Grain identifies a region set: one level index per schema attribute
+// (0 = finest, Attribute.AllIndex() = ALL). In the paper's terms a grain
+// is a "granularity": the region set of all regions with that granularity.
+type Grain []int
+
+// Clone returns an independent copy of g.
+func (g Grain) Clone() Grain { return append(Grain(nil), g...) }
+
+// Equal reports whether g and h are the same grain.
+func (g Grain) Equal(h Grain) bool {
+	if len(g) != len(h) {
+		return false
+	}
+	for i := range g {
+		if g[i] != h[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GeneralizationOf reports whether g is equal to or more general than h:
+// every attribute of g is at an equal or coarser level than in h. If g is
+// a generalization of h, every region of h has a unique parent region of
+// grain g (paper Section II), and by Theorem 1 feasibility of h as a
+// distribution key implies feasibility of g.
+func (g Grain) GeneralizationOf(h Grain) bool {
+	if len(g) != len(h) {
+		return false
+	}
+	for i := range g {
+		if g[i] < h[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LCA returns the least common ancestor granularity of the given grains:
+// per attribute, the finest level that is at least as coarse as every
+// input's level. With no inputs it returns the schema's finest grain.
+// This is the key object of the paper's Theorem 2: absent sibling
+// relationships, the LCA of all measure granularities is the minimal
+// feasible distribution key.
+func (s *Schema) LCA(grains ...Grain) Grain {
+	out := s.GrainFinest()
+	for _, g := range grains {
+		for i := range out {
+			if g[i] > out[i] {
+				out[i] = g[i]
+			}
+		}
+	}
+	return out
+}
+
+// Meet returns the greatest common descendant granularity: per attribute,
+// the coarsest level at least as fine as every input's level. The local
+// evaluator sorts block records at the meet of the workflow's grains so
+// that every grain's groups are contiguous prefixes of the sort key.
+func (s *Schema) Meet(grains ...Grain) Grain {
+	out := s.GrainAll()
+	for _, g := range grains {
+		for i := range out {
+			if g[i] < out[i] {
+				out[i] = g[i]
+			}
+		}
+	}
+	return out
+}
+
+// NumRegions returns the number of regions in the region set of grain g
+// (the paper's n_G), i.e. the product of per-attribute cardinalities at
+// the grain's levels.
+func (s *Schema) NumRegions(g Grain) int64 {
+	n := int64(1)
+	for i, li := range g {
+		n *= s.attrs[i].CardAt(li)
+		if n < 0 { // overflow guard: saturate
+			return 1<<63 - 1
+		}
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package cube
+
+import "fmt"
+
+// MappedLevel defines one level of an irregular hierarchy by an explicit
+// assignment: Assign[v] is the level coordinate of finest-level value v.
+// Real nominal hierarchies (keywords into topics, SKUs into categories)
+// are rarely fixed-span; mapped attributes capture them exactly.
+type MappedLevel struct {
+	Name   string
+	Assign []int64
+}
+
+// NewMappedAttribute builds a nominal attribute whose coarser levels are
+// given by explicit mapping tables rather than fixed spans. The implicit
+// finest level is named "value"; levels must be supplied from finer to
+// coarser and each must be a true coarsening of the previous one (values
+// grouped together at a finer level may not split apart at a coarser
+// one). An ALL level is appended automatically.
+//
+// Mapped attributes are always Nominal: they carry no order, so sliding
+// windows and distribution-key annotations are rejected elsewhere, and
+// the span-based conversions never apply to them.
+func NewMappedAttribute(name string, card int64, levels ...MappedLevel) (*Attribute, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cube: attribute name must be non-empty")
+	}
+	if card < 1 {
+		return nil, fmt.Errorf("cube: attribute %q: cardinality %d < 1", name, card)
+	}
+	a := &Attribute{
+		name:   name,
+		kind:   Nominal,
+		card:   card,
+		mapped: true,
+		byName: make(map[string]int),
+	}
+	// Implicit identity finest level.
+	a.levels = append(a.levels, Level{Name: "value", Span: 1})
+	a.assign = append(a.assign, nil)
+	a.cards = append(a.cards, card)
+	a.byName["value"] = 0
+
+	prev := identityAssign(card)
+	for li, lv := range levels {
+		if lv.Name == "" || lv.Name == AllLevel || lv.Name == "value" {
+			return nil, fmt.Errorf("cube: attribute %q: invalid level name %q", name, lv.Name)
+		}
+		if _, dup := a.byName[lv.Name]; dup {
+			return nil, fmt.Errorf("cube: attribute %q: duplicate level %q", name, lv.Name)
+		}
+		if int64(len(lv.Assign)) != card {
+			return nil, fmt.Errorf("cube: attribute %q: level %q assigns %d values, want %d",
+				name, lv.Name, len(lv.Assign), card)
+		}
+		var maxCoord int64 = -1
+		for v, c := range lv.Assign {
+			if c < 0 {
+				return nil, fmt.Errorf("cube: attribute %q: level %q: negative coordinate for value %d", name, lv.Name, v)
+			}
+			if c > maxCoord {
+				maxCoord = c
+			}
+		}
+		// Consistency: this level must coarsen the previous one, i.e. the
+		// previous level's coordinate determines this level's.
+		up := make([]int64, maxAssign(prev)+1)
+		for i := range up {
+			up[i] = -1
+		}
+		for v := int64(0); v < card; v++ {
+			pc, cc := prev[v], lv.Assign[v]
+			if up[pc] == -1 {
+				up[pc] = cc
+			} else if up[pc] != cc {
+				return nil, fmt.Errorf("cube: attribute %q: level %q splits a group of level %q (value %d)",
+					name, lv.Name, a.levels[li].Name, v)
+			}
+		}
+		// Groups never observed at the previous level cannot occur; map
+		// them to 0 so the table is total.
+		for i := range up {
+			if up[i] == -1 {
+				up[i] = 0
+			}
+		}
+		a.levels = append(a.levels, Level{Name: lv.Name, Span: 0})
+		a.assign = append(a.assign, append([]int64(nil), lv.Assign...))
+		a.up = append(a.up, up)
+		a.cards = append(a.cards, maxCoord+1)
+		a.byName[lv.Name] = len(a.levels) - 1
+		prev = lv.Assign
+	}
+	// Implicit ALL level.
+	a.levels = append(a.levels, Level{Name: AllLevel, Span: 0})
+	a.assign = append(a.assign, nil)
+	a.cards = append(a.cards, 1)
+	a.byName[AllLevel] = len(a.levels) - 1
+	return a, nil
+}
+
+// MustMappedAttribute is NewMappedAttribute that panics on error.
+func MustMappedAttribute(name string, card int64, levels ...MappedLevel) *Attribute {
+	a, err := NewMappedAttribute(name, card, levels...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func identityAssign(card int64) []int64 {
+	out := make([]int64, card)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func maxAssign(assign []int64) int64 {
+	var m int64
+	for _, c := range assign {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Mapped reports whether the attribute uses table-driven levels.
+func (a *Attribute) Mapped() bool { return a.mapped }
+
+func (a *Attribute) mappedRoll(v int64, i int) int64 {
+	if i == a.AllIndex() {
+		return 0
+	}
+	if a.assign[i] == nil { // finest
+		return v
+	}
+	return a.assign[i][v]
+}
+
+// mappedRollBetween composes the up-tables from level `from` to the
+// coarser level `to`.
+func (a *Attribute) mappedRollBetween(c int64, from, to int) int64 {
+	if to == a.AllIndex() {
+		return 0
+	}
+	for i := from; i < to; i++ {
+		// up[i] maps level i+1... the table at index i maps coordinates
+		// of level i to level i+1; up is indexed by the coarser level's
+		// position minus one.
+		c = a.up[i][c]
+	}
+	return c
+}

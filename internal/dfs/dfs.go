@@ -1,0 +1,284 @@
+// Package dfs is an in-process stand-in for the distributed file system
+// under the paper's Hadoop deployment: files are split into fixed-size
+// blocks, each block is replicated on several storage nodes ("the system
+// maintains three replicas of each file, for fault tolerance"), and
+// readers can locate replicas to schedule computation near the data.
+//
+// The store is deliberately simple — byte blocks in memory, per node — but
+// it preserves the properties the evaluation depends on: block-granular
+// input splits for the mappers, replica placement for locality and failure
+// injection, and per-node usage accounting for the cost model.
+package dfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Config parameterizes a file system.
+type Config struct {
+	// BlockSize is the split size in bytes. Default 4 MiB.
+	BlockSize int
+	// Replication is the number of replicas per block. Default 3.
+	Replication int
+	// NumNodes is the number of storage nodes. Default 10.
+	NumNodes int
+	// Seed drives replica placement; runs are deterministic per seed.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4 << 20
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.NumNodes <= 0 {
+		c.NumNodes = 10
+	}
+	return c
+}
+
+// BlockInfo describes one block of a file.
+type BlockInfo struct {
+	File     string
+	Index    int
+	Size     int
+	Replicas []int // node IDs holding a copy, in placement order
+}
+
+type blockData struct {
+	info BlockInfo
+	data []byte // shared backing; per-node copies would triple memory for nothing
+}
+
+type file struct {
+	blocks []*blockData
+	size   int
+}
+
+// FS is an in-process replicated block store. All methods are safe for
+// concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	cfg   Config
+	rng   *rand.Rand
+	files map[string]*file
+	down  map[int]bool  // failed nodes
+	used  map[int]int64 // bytes per node
+}
+
+// New returns an empty file system.
+func New(cfg Config) (*FS, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Replication > cfg.NumNodes {
+		return nil, fmt.Errorf("dfs: replication %d exceeds node count %d", cfg.Replication, cfg.NumNodes)
+	}
+	return &FS{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		files: make(map[string]*file),
+		down:  make(map[int]bool),
+		used:  make(map[int]int64),
+	}, nil
+}
+
+// Config returns the file system's configuration (with defaults applied).
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Write stores data under name, splitting it into blocks and placing
+// replicas on distinct random nodes. An existing file is replaced.
+func (fs *FS) Write(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("dfs: empty file name")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if old, ok := fs.files[name]; ok {
+		fs.release(old)
+	}
+	f := &file{size: len(data)}
+	for off, idx := 0, 0; off < len(data) || idx == 0; idx++ {
+		end := off + fs.cfg.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := append([]byte(nil), data[off:end]...)
+		replicas := fs.placeReplicas()
+		for _, n := range replicas {
+			fs.used[n] += int64(len(chunk))
+		}
+		f.blocks = append(f.blocks, &blockData{
+			info: BlockInfo{File: name, Index: idx, Size: len(chunk), Replicas: replicas},
+			data: chunk,
+		})
+		off = end
+		if off >= len(data) {
+			break
+		}
+	}
+	fs.files[name] = f
+	return nil
+}
+
+// placeReplicas picks Replication distinct nodes, preferring live ones.
+func (fs *FS) placeReplicas() []int {
+	perm := fs.rng.Perm(fs.cfg.NumNodes)
+	out := make([]int, 0, fs.cfg.Replication)
+	for _, n := range perm {
+		if fs.down[n] {
+			continue
+		}
+		out = append(out, n)
+		if len(out) == fs.cfg.Replication {
+			return out
+		}
+	}
+	// Not enough live nodes: fall back to failed ones so writes still
+	// succeed (reads will fail until recovery, as with a real DFS in
+	// degraded mode).
+	for _, n := range perm {
+		if fs.down[n] {
+			out = append(out, n)
+			if len(out) == fs.cfg.Replication {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (fs *FS) release(f *file) {
+	for _, b := range f.blocks {
+		for _, n := range b.info.Replicas {
+			fs.used[n] -= int64(b.info.Size)
+		}
+	}
+}
+
+// Read returns the whole file contents.
+func (fs *FS) Read(name string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	out := make([]byte, 0, f.size)
+	for _, b := range f.blocks {
+		data, err := fs.readBlockLocked(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+func (fs *FS) readBlockLocked(b *blockData) ([]byte, error) {
+	for _, n := range b.info.Replicas {
+		if !fs.down[n] {
+			return b.data, nil
+		}
+	}
+	return nil, fmt.Errorf("dfs: block %d of %q unavailable: all %d replicas on failed nodes",
+		b.info.Index, b.info.File, len(b.info.Replicas))
+}
+
+// Blocks lists the block metadata of a file, for split planning.
+func (fs *FS) Blocks(name string) ([]BlockInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	out := make([]BlockInfo, len(f.blocks))
+	for i, b := range f.blocks {
+		info := b.info
+		info.Replicas = append([]int(nil), b.info.Replicas...)
+		out[i] = info
+	}
+	return out, nil
+}
+
+// ReadBlock returns one block's contents from any live replica.
+func (fs *FS) ReadBlock(name string, index int) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", name)
+	}
+	if index < 0 || index >= len(f.blocks) {
+		return nil, fmt.Errorf("dfs: block %d of %q out of range [0,%d)", index, name, len(f.blocks))
+	}
+	return fs.readBlockLocked(f.blocks[index])
+}
+
+// Delete removes a file.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("dfs: file %q not found", name)
+	}
+	fs.release(f)
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the file names in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns a file's size in bytes.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("dfs: file %q not found", name)
+	}
+	return int64(f.size), nil
+}
+
+// FailNode marks a storage node as failed; its replicas become
+// unreadable until RecoverNode.
+func (fs *FS) FailNode(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.down[id] = true
+}
+
+// RecoverNode brings a failed node back.
+func (fs *FS) RecoverNode(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.down, id)
+}
+
+// UsedBytes reports the bytes stored per node (replicas included).
+func (fs *FS) UsedBytes() map[int]int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make(map[int]int64, len(fs.used))
+	for n, b := range fs.used {
+		if b != 0 {
+			out[n] = b
+		}
+	}
+	return out
+}

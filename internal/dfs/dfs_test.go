@@ -1,0 +1,200 @@
+package dfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func newFS(t *testing.T, cfg Config) *FS {
+	t.Helper()
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 100, Replication: 3, NumNodes: 5, Seed: 1})
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{0, 1, 99, 100, 101, 1000, 12345} {
+		data := make([]byte, size)
+		rng.Read(data)
+		name := "file"
+		if err := fs.Write(name, data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.Read(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+		sz, err := fs.Size(name)
+		if err != nil || sz != int64(size) {
+			t.Fatalf("size = %d, %v", sz, err)
+		}
+	}
+}
+
+func TestBlockSplitting(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 100, Replication: 2, NumNodes: 4, Seed: 1})
+	data := make([]byte, 250)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.Write("f", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := fs.Blocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	sizes := []int{100, 100, 50}
+	for i, b := range blocks {
+		if b.Size != sizes[i] || b.Index != i || b.File != "f" {
+			t.Errorf("block %d: %+v", i, b)
+		}
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d: %d replicas", i, len(b.Replicas))
+		}
+		seen := map[int]bool{}
+		for _, r := range b.Replicas {
+			if seen[r] {
+				t.Errorf("block %d: duplicate replica node %d", i, r)
+			}
+			seen[r] = true
+		}
+		chunk, err := fs.ReadBlock("f", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(chunk, data[i*100:min(250, (i+1)*100)]) {
+			t.Errorf("block %d content mismatch", i)
+		}
+	}
+}
+
+func TestEmptyFileHasOneBlock(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 100, NumNodes: 3, Replication: 1, Seed: 1})
+	if err := fs.Write("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := fs.Blocks("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0].Size != 0 {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+}
+
+func TestReplicaFailover(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 1 << 20, Replication: 3, NumNodes: 5, Seed: 2})
+	data := []byte("important payload")
+	if err := fs.Write("f", data); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.Blocks("f")
+	reps := blocks[0].Replicas
+	// Fail all but one replica: reads still succeed.
+	fs.FailNode(reps[0])
+	fs.FailNode(reps[1])
+	if got, err := fs.Read("f"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read with one live replica: %v", err)
+	}
+	// Fail the last: reads fail.
+	fs.FailNode(reps[2])
+	if _, err := fs.Read("f"); err == nil {
+		t.Fatal("read succeeded with all replicas down")
+	}
+	// Recover: reads work again.
+	fs.RecoverNode(reps[1])
+	if got, err := fs.Read("f"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestOverwriteReleasesSpace(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 100, Replication: 2, NumNodes: 4, Seed: 3})
+	fs.Write("f", make([]byte, 1000))
+	before := int64(0)
+	for _, b := range fs.UsedBytes() {
+		before += b
+	}
+	if before != 2000 {
+		t.Fatalf("used before = %d, want 2000", before)
+	}
+	fs.Write("f", make([]byte, 100))
+	after := int64(0)
+	for _, b := range fs.UsedBytes() {
+		after += b
+	}
+	if after != 200 {
+		t.Fatalf("used after overwrite = %d, want 200", after)
+	}
+	if err := fs.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	for n, b := range fs.UsedBytes() {
+		if b != 0 {
+			t.Errorf("node %d still holds %d bytes after delete", n, b)
+		}
+	}
+}
+
+func TestListAndErrors(t *testing.T) {
+	fs := newFS(t, Config{Seed: 4})
+	fs.Write("b", []byte("x"))
+	fs.Write("a", []byte("y"))
+	got := fs.List()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("List = %v", got)
+	}
+	if _, err := fs.Read("nope"); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	if _, err := fs.Blocks("nope"); err == nil {
+		t.Error("missing file blocks succeeded")
+	}
+	if err := fs.Delete("nope"); err == nil {
+		t.Error("missing file delete succeeded")
+	}
+	if _, err := fs.ReadBlock("a", 5); err == nil {
+		t.Error("out-of-range block read succeeded")
+	}
+	if err := fs.Write("", []byte("x")); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New(Config{Replication: 5, NumNodes: 3}); err == nil {
+		t.Error("replication > nodes accepted")
+	}
+}
+
+func TestPlacementSpreadsLoad(t *testing.T) {
+	fs := newFS(t, Config{BlockSize: 10, Replication: 2, NumNodes: 10, Seed: 5})
+	fs.Write("f", make([]byte, 10*200)) // 200 blocks
+	used := fs.UsedBytes()
+	if len(used) != 10 {
+		t.Fatalf("only %d nodes used", len(used))
+	}
+	for n, b := range used {
+		// 400 replica-blocks over 10 nodes: expect ~40 blocks = 400 bytes
+		// per node; allow generous slack.
+		if b < 200 || b > 700 {
+			t.Errorf("node %d holds %d bytes; placement is unbalanced", n, b)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

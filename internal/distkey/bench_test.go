@@ -1,0 +1,58 @@
+package distkey
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/casm-project/casm/internal/cube"
+)
+
+// BenchmarkBlocksFor measures the mapper's key-generation hot path.
+func BenchmarkBlocksFor(b *testing.B) {
+	s := blockSchema(b)
+	ti, _ := s.AttrIndex("t")
+	rng := rand.New(rand.NewSource(1))
+	records := make([]cube.Record, 10_000)
+	for i := range records {
+		records[i] = cube.Record{rng.Int63n(100), rng.Int63n(4 * 86400)}
+	}
+	cases := []struct {
+		name string
+		ann  Ann
+		cf   int64
+	}{
+		{"plain", Ann{}, 1},
+		{"overlap_d9_cf1", Ann{Low: -9, High: 0}, 1},
+		{"overlap_d9_cf10", Ann{Low: -9, High: 0}, 10},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			key := FromGrain(s.MustGrain(cube.GrainSpec{Attr: "k", Level: "group"}, cube.GrainSpec{Attr: "t", Level: "hour"}))
+			key.Anns[ti] = c.ann
+			bm, err := NewBlockMapper(s, key, c.cf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var emitted int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, rec := range records {
+					bm.BlocksFor(rec, func(string) { emitted++ })
+				}
+			}
+			b.ReportMetric(float64(emitted)/float64(b.N*len(records)), "pairs/record")
+		})
+	}
+}
+
+// BenchmarkDerive measures minimal-key derivation on a weblog-style
+// workflow.
+func BenchmarkDerive(b *testing.B) {
+	w := weblogWorkflow(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Derive(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

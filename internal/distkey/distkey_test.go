@@ -1,0 +1,329 @@
+package distkey
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// weblogSchema mirrors the paper's motivating example.
+func weblogSchema(t testing.TB) *cube.Schema {
+	t.Helper()
+	return cube.MustSchema(
+		cube.MustAttribute("keyword", cube.Nominal, 1000,
+			cube.Level{Name: "word", Span: 1},
+			cube.Level{Name: "group", Span: 50},
+		),
+		cube.MustAttribute("pagecount", cube.Numeric, 201,
+			cube.Level{Name: "value", Span: 1},
+			cube.Level{Name: "level", Span: 67},
+		),
+		cube.MustAttribute("adcount", cube.Numeric, 201,
+			cube.Level{Name: "value", Span: 1},
+			cube.Level{Name: "level", Span: 67},
+		),
+		cube.TimeAttribute("time", 2),
+	)
+}
+
+// weblogWorkflow builds the paper's M1–M4 query.
+func weblogWorkflow(t testing.TB, withM4 bool) *workflow.Workflow {
+	t.Helper()
+	s := weblogSchema(t)
+	w := workflow.New(s)
+	kwMinute := s.MustGrain(cube.GrainSpec{Attr: "keyword", Level: "word"}, cube.GrainSpec{Attr: "time", Level: "minute"})
+	kwHour := s.MustGrain(cube.GrainSpec{Attr: "keyword", Level: "word"}, cube.GrainSpec{Attr: "time", Level: "hour"})
+	ti, _ := s.AttrIndex("time")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.AddBasic("M1", kwMinute, measure.Spec{Func: measure.Median}, "pagecount"))
+	must(w.AddBasic("M2", kwHour, measure.Spec{Func: measure.Median}, "adcount"))
+	must(w.AddSelf("M3", kwMinute, measure.Ratio(), "M1", "M2"))
+	if withM4 {
+		must(w.AddSliding("M4", kwMinute, measure.Spec{Func: measure.Avg}, "M3",
+			workflow.RangeAnn{Attr: ti, Low: -9, High: 0}))
+	}
+	return w
+}
+
+func TestDeriveNoSiblingIsLCA(t *testing.T) {
+	// Theorem 2: without sibling relationships the minimal feasible key is
+	// the LCA of all measure granularities, unannotated. For M1–M3 the
+	// paper states this key is <K:keyword, T:hour>.
+	w := weblogWorkflow(t, false)
+	s := w.Schema()
+	key, per, err := Derive(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.IsOverlapping() {
+		t.Fatalf("no-sibling key is annotated: %s", key.Format(s))
+	}
+	want := s.MustGrain(cube.GrainSpec{Attr: "keyword", Level: "word"}, cube.GrainSpec{Attr: "time", Level: "hour"})
+	if !key.Grain.Equal(want) {
+		t.Fatalf("key = %s, want <keyword:word, time:hour>", key.Format(s))
+	}
+	// Per-measure keys: M1's is its own grain.
+	m1 := per["M1"]
+	g1 := s.MustGrain(cube.GrainSpec{Attr: "keyword", Level: "word"}, cube.GrainSpec{Attr: "time", Level: "minute"})
+	if !m1.Grain.Equal(g1) || m1.IsOverlapping() {
+		t.Errorf("M1 key = %s", m1.Format(s))
+	}
+}
+
+func TestDeriveWeblogWithSliding(t *testing.T) {
+	// Adding M4 (10-minute window) forces an overlapping key. M3's key is
+	// at the hour level, so the window converts to hour offsets (-1, 0):
+	// <keyword:word, time:hour(-1,0)>.
+	w := weblogWorkflow(t, true)
+	s := w.Schema()
+	key, per, err := Derive(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, _ := s.AttrIndex("time")
+	hour, _ := s.Attr(ti).LevelIndex("hour")
+	if key.Grain[ti] != hour {
+		t.Fatalf("key time level = %d, want hour; key = %s", key.Grain[ti], key.Format(s))
+	}
+	if got := key.Anns[ti]; got != (Ann{Low: -1, High: 0}) {
+		t.Fatalf("key time annotation = %+v, want (-1,0); key = %s", got, key.Format(s))
+	}
+	if got := key.Width(); got != 1 {
+		t.Errorf("d = %d, want 1", got)
+	}
+	// The sliding measure's own key matches the query key here.
+	if !per["M4"].Equal(key) {
+		t.Errorf("M4 key %s != query key %s", per["M4"].Format(s), key.Format(s))
+	}
+}
+
+func TestDeriveRollupAndInherit(t *testing.T) {
+	s := weblogSchema(t)
+	w := workflow.New(s)
+	minuteG := s.MustGrain(cube.GrainSpec{Attr: "time", Level: "minute"})
+	dayG := s.MustGrain(cube.GrainSpec{Attr: "time", Level: "day"})
+	if err := w.AddBasic("b", minuteG, measure.Spec{Func: measure.Count}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRollup("r", dayG, measure.Spec{Func: measure.Sum}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddInherit("i", minuteG, "r"); err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := Derive(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, _ := s.AttrIndex("time")
+	day, _ := s.Attr(ti).LevelIndex("day")
+	if key.Grain[ti] != day || key.IsOverlapping() {
+		t.Errorf("key = %s, want <time:day> unannotated", key.Format(s))
+	}
+}
+
+func TestOpConvertAddsWindowAtKeyLevel(t *testing.T) {
+	s := weblogSchema(t)
+	ti, _ := s.AttrIndex("time")
+	minute, _ := s.Attr(ti).LevelIndex("minute")
+	grain := s.MustGrain(cube.GrainSpec{Attr: "time", Level: "minute"})
+	k := FromGrain(grain)
+	out := OpConvert(s, k, grain, []workflow.RangeAnn{{Attr: ti, Low: -9, High: 0}})
+	if out.Grain[ti] != minute {
+		t.Fatalf("level changed: %s", out.Format(s))
+	}
+	if out.Anns[ti] != (Ann{Low: -9, High: 0}) {
+		t.Fatalf("ann = %+v", out.Anns[ti])
+	}
+	// Key at ALL: no annotation needed.
+	kAll := FromGrain(s.GrainAll())
+	out2 := OpConvert(s, kAll, grain, []workflow.RangeAnn{{Attr: ti, Low: -9, High: 0}})
+	if out2.IsOverlapping() {
+		t.Errorf("ALL-level key got annotated: %s", out2.Format(s))
+	}
+	// Existing annotation accumulates.
+	k3 := FromGrain(grain)
+	k3.Anns[ti] = Ann{Low: -5, High: 2}
+	out3 := OpConvert(s, k3, grain, []workflow.RangeAnn{{Attr: ti, Low: -9, High: 0}})
+	if out3.Anns[ti] != (Ann{Low: -14, High: 2}) {
+		t.Errorf("accumulated ann = %+v, want (-14,2)", out3.Anns[ti])
+	}
+}
+
+func TestConvertAnnPaperExamples(t *testing.T) {
+	// Regular-span analogue of the paper's day→month discussion with a
+	// 60-minute "month": a (0,10)-minute window converts to (0,1) hours;
+	// a (0,60)-minute window converts to (0,1) hours exactly and
+	// (0,61) → (0,2).
+	s := weblogSchema(t)
+	ti, _ := s.AttrIndex("time")
+	minute, _ := s.Attr(ti).LevelIndex("minute")
+	hour, _ := s.Attr(ti).LevelIndex("hour")
+	cases := []struct {
+		in   Ann
+		want Ann
+	}{
+		{Ann{0, 10}, Ann{0, 1}},
+		{Ann{0, 60}, Ann{0, 1}},
+		{Ann{0, 61}, Ann{0, 2}},
+		{Ann{-10, 0}, Ann{-1, 0}},
+		{Ann{-60, 0}, Ann{-1, 0}},
+		{Ann{-61, 0}, Ann{-2, 0}},
+		{Ann{0, 0}, Ann{0, 0}},
+	}
+	for _, c := range cases {
+		if got := ConvertAnn(s, ti, c.in, minute, hour); got != c.want {
+			t.Errorf("ConvertAnn(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	// To ALL: always zero.
+	if got := ConvertAnn(s, ti, Ann{-100, 100}, minute, s.Attr(ti).AllIndex()); !got.IsZero() {
+		t.Errorf("ALL conversion = %+v", got)
+	}
+}
+
+func TestConvertAnnConservativeProperty(t *testing.T) {
+	// For every alignment t and offset j in [low, high], the coarse region
+	// of t+j must lie within [T+low', T+high'] where T is t's coarse region.
+	s := weblogSchema(t)
+	ti, _ := s.AttrIndex("time")
+	at := s.Attr(ti)
+	rng := rand.New(rand.NewSource(23))
+	levels := []string{"second", "minute", "hour", "day"}
+	for iter := 0; iter < 2000; iter++ {
+		fi := rng.Intn(len(levels) - 1)
+		ci := fi + 1 + rng.Intn(len(levels)-fi-1)
+		from, _ := at.LevelIndex(levels[fi])
+		to, _ := at.LevelIndex(levels[ci])
+		span := at.SpanBetween(from, to)
+		low := rng.Int63n(200) - 100
+		high := low + rng.Int63n(150)
+		conv := ConvertAnn(s, ti, Ann{low, high}, from, to)
+		// Random alignment within coarse region.
+		t0 := rng.Int63n(at.CardAt(from))
+		T := t0 / span
+		for _, j := range []int64{low, high, (low + high) / 2} {
+			c := (t0 + j) / span
+			if t0+j < 0 {
+				c = floorDiv(t0+j, span)
+			}
+			if c < T+conv.Low || c > T+conv.High {
+				t.Fatalf("not conservative: span=%d ann=(%d,%d) conv=%+v t=%d j=%d: coarse %d outside [%d,%d]",
+					span, low, high, conv, t0, j, c, T+conv.Low, T+conv.High)
+			}
+		}
+	}
+}
+
+func TestOpCombineUnionsAnnotations(t *testing.T) {
+	s := weblogSchema(t)
+	ti, _ := s.AttrIndex("time")
+	minuteG := s.MustGrain(cube.GrainSpec{Attr: "time", Level: "minute"})
+	hourG := s.MustGrain(cube.GrainSpec{Attr: "time", Level: "hour"})
+	k1 := FromGrain(minuteG)
+	k1.Anns[ti] = Ann{Low: -120, High: 0} // two hours back, in minutes
+	k2 := FromGrain(hourG)
+	k2.Anns[ti] = Ann{Low: 0, High: 3}
+	out := OpCombine(s, k1, k2)
+	hour, _ := s.Attr(ti).LevelIndex("hour")
+	if out.Grain[ti] != hour {
+		t.Fatalf("combined level not hour: %s", out.Format(s))
+	}
+	// k1 at hour level: (-2, 0); union with (0,3) = (-2,3).
+	if out.Anns[ti] != (Ann{Low: -2, High: 3}) {
+		t.Errorf("combined ann = %+v, want (-2,3)", out.Anns[ti])
+	}
+	// Combining with an ALL-grain key keeps annotations of the finer one.
+	out2 := OpCombine(s, k2, FromGrain(s.GrainAll()))
+	if !out2.Grain.Equal(s.GrainAll()) || out2.IsOverlapping() {
+		t.Errorf("combine with ALL = %s", out2.Format(s))
+	}
+	// Zero keys: finest grain.
+	out3 := OpCombine(s)
+	if !out3.Grain.Equal(s.GrainFinest()) {
+		t.Errorf("empty combine = %s", out3.Format(s))
+	}
+}
+
+func TestGeneralizesTheorem1(t *testing.T) {
+	// Theorem 1: every generalization of a feasible key is feasible.
+	// RollUpAttr and CoarsenAttr must produce keys that Generalize the
+	// original; Generalizes must be reflexive and transitive.
+	w := weblogWorkflow(t, true)
+	s := w.Schema()
+	key, _, err := Derive(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Generalizes(s, key, key) {
+		t.Error("Generalizes not reflexive")
+	}
+	ti, _ := s.AttrIndex("time")
+	ki, _ := s.AttrIndex("keyword")
+	up := RollUpAttr(s, key, ki)
+	if !Generalizes(s, up, key) {
+		t.Errorf("rolled-up key %s does not generalize %s", up.Format(s), key.Format(s))
+	}
+	if Generalizes(s, key, up) {
+		t.Error("generalization order is backwards")
+	}
+	day, _ := s.Attr(ti).LevelIndex("day")
+	coarse := CoarsenAttr(s, key, ti, day)
+	if !Generalizes(s, coarse, key) {
+		t.Errorf("coarsened key %s does not generalize %s", coarse.Format(s), key.Format(s))
+	}
+	both := RollUpAttr(s, coarse, ki)
+	if !Generalizes(s, both, key) || !Generalizes(s, both, coarse) || !Generalizes(s, both, up) {
+		t.Error("transitivity broken")
+	}
+	// Narrowing an annotation breaks generalization.
+	narrow := key.Clone()
+	narrow.Anns[ti] = Ann{Low: 0, High: 0}
+	if Generalizes(s, narrow, key) {
+		t.Error("narrower annotation claimed to generalize")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	w := weblogWorkflow(t, true)
+	s := w.Schema()
+	key, _, _ := Derive(w)
+	if got := key.Format(s); got != "<keyword:word, time:hour(-1,0)>" {
+		t.Errorf("format = %q", got)
+	}
+	if got := FromGrain(s.GrainAll()).Format(s); got != "<ALL>" {
+		t.Errorf("ALL format = %q", got)
+	}
+}
+
+func TestCoarsenAttrPanicsOnFiner(t *testing.T) {
+	s := weblogSchema(t)
+	ti, _ := s.AttrIndex("time")
+	hourG := s.MustGrain(cube.GrainSpec{Attr: "time", Level: "hour"})
+	k := FromGrain(hourG)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on finer CoarsenAttr")
+		}
+	}()
+	CoarsenAttr(s, k, ti, 0)
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {-4, 2, -2}, {0, 5, 0}, {-1, 60, -1}, {59, 60, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package localeval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+func TestChainCompatible(t *testing.T) {
+	s := testSchema(t) // attrs: k(word,group,ALL), v(value,ALL), t(sec..day,ALL)
+	ki, _ := s.AttrIndex("k")
+	vi, _ := s.AttrIndex("v")
+	ti, _ := s.AttrIndex("t")
+	all := s.GrainAll()
+	perm := []int{ki, vi, ti}
+
+	mk := func(levels map[int]int) cube.Grain {
+		g := all.Clone()
+		for a, l := range levels {
+			g[a] = l
+		}
+		return g
+	}
+	hour, _ := s.Attr(ti).LevelIndex("hour")
+	group, _ := s.Attr(ki).LevelIndex("group")
+
+	cases := []struct {
+		g    cube.Grain
+		want bool
+	}{
+		{all, true},                        // single group
+		{mk(map[int]int{ki: 0}), true},     // finest prefix
+		{mk(map[int]int{ki: group}), true}, // coarse at last non-ALL position
+		{mk(map[int]int{ki: 0, vi: 0, ti: hour}), true},
+		{mk(map[int]int{ki: group, ti: hour}), false}, // coarse before a later non-ALL
+		{mk(map[int]int{ti: hour}), false},            // ALL gap before t (k, v at ALL precede it)
+		{mk(map[int]int{ki: 0, ti: hour}), false},     // v at ALL between non-ALL attrs
+	}
+	for i, c := range cases {
+		if got := chainCompatible(s, c.g, perm); got != c.want {
+			t.Errorf("case %d (%s): chainCompatible = %v, want %v", i, s.FormatGrain(c.g), got, c.want)
+		}
+	}
+}
+
+func TestChainPermutationPrefersUsedAttrs(t *testing.T) {
+	s := testSchema(t)
+	ki, _ := s.AttrIndex("k")
+	ti, _ := s.AttrIndex("t")
+	minute, _ := s.Attr(ti).LevelIndex("minute")
+	g1 := s.GrainAll()
+	g1[ti] = minute
+	g2 := g1.Clone()
+	g2[ki] = 0
+	perm := chainPermutation(s, []cube.Grain{g1, g2})
+	if perm[0] != ti {
+		t.Errorf("perm = %v; t (used by both grains) should come first", perm)
+	}
+}
+
+// TestChainScanEquivalence: on random workflows and data, ChainScan must
+// produce exactly the HashScan results (it is a pure optimization).
+func TestChainScanEquivalence(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(5))
+	ti, _ := s.AttrIndex("t")
+	hour, _ := s.Attr(ti).LevelIndex("hour")
+
+	for trial := 0; trial < 20; trial++ {
+		w := workflow.New(s)
+		// Mix of chain-friendly and chain-hostile grains.
+		grains := []cube.Grain{
+			s.MustGrain(cube.GrainSpec{Attr: "k", Level: "word"}, cube.GrainSpec{Attr: "t", Level: "minute"}),
+			s.MustGrain(cube.GrainSpec{Attr: "k", Level: "group"}, cube.GrainSpec{Attr: "t", Level: "hour"}),
+			s.MustGrain(cube.GrainSpec{Attr: "v", Level: "value"}),
+			s.MustGrain(cube.GrainSpec{Attr: "t", Level: "day"}),
+		}
+		aggs := []measure.Spec{{Func: measure.Sum}, {Func: measure.Median}, {Func: measure.Avg}, {Func: measure.CountDistinct}}
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("b%d", i)
+			if err := w.AddBasic(name, grains[rng.Intn(len(grains))], aggs[rng.Intn(len(aggs))], "v"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.AddSliding("sl", grains[1], measure.Spec{Func: measure.Sum}, "b0",
+			workflow.RangeAnn{Attr: ti, Low: -2, High: 0}); err != nil {
+			// b0's grain may differ from grains[1]; skip the window then.
+			_ = hour
+		}
+		e, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records := make([]cube.Record, 300+rng.Intn(500))
+		for i := range records {
+			records[i] = rec(rng.Int63n(10), rng.Int63n(1000), rng.Int63n(2*86400))
+		}
+		hashOut, hs, err := e.Evaluate(append([]cube.Record(nil), records...), Options{Scan: HashScan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chainOut, cs, err := e.Evaluate(append([]cube.Record(nil), records...), Options{Scan: ChainScan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hs.ScannedRecords != cs.ScannedRecords || cs.SortedItems != int64(len(records)) {
+			t.Fatalf("stats mismatch: %+v vs %+v", hs, cs)
+		}
+		if len(hashOut) != len(chainOut) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(hashOut), len(chainOut))
+		}
+		for i := range hashOut {
+			h, c := hashOut[i], chainOut[i]
+			if h.Measure != c.Measure || h.Region.Key() != c.Region.Key() ||
+				(h.Value != c.Value && !(math.IsNaN(h.Value) && math.IsNaN(c.Value))) {
+				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, h, c)
+			}
+		}
+	}
+}
+
+func BenchmarkScanModes(b *testing.B) {
+	s := testSchema(b)
+	w := workflow.New(s)
+	gFine := s.MustGrain(cube.GrainSpec{Attr: "k", Level: "word"}, cube.GrainSpec{Attr: "t", Level: "minute"})
+	gCoarse := s.MustGrain(cube.GrainSpec{Attr: "k", Level: "group"}, cube.GrainSpec{Attr: "t", Level: "hour"})
+	if err := w.AddBasic("fine", gFine, measure.Spec{Func: measure.Sum}, "v"); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AddBasic("coarse", gCoarse, measure.Spec{Func: measure.Avg}, "v"); err != nil {
+		b.Fatal(err)
+	}
+	e, err := New(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	records := make([]cube.Record, 50_000)
+	for i := range records {
+		records[i] = rec(rng.Int63n(10), rng.Int63n(1000), rng.Int63n(2*86400))
+	}
+	for _, mode := range []struct {
+		name string
+		scan ScanMode
+	}{{"hash", HashScan}, {"chain", ChainScan}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cp := make([]cube.Record, len(records))
+			for i := 0; i < b.N; i++ {
+				copy(cp, records)
+				if _, _, err := e.Evaluate(cp, Options{Scan: mode.scan}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(records)*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}

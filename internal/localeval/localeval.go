@@ -1,0 +1,561 @@
+// Package localeval implements the local evaluation subroutine the paper
+// inherits from its VLDB'06 predecessor [4]: given all records of one
+// distribution block, compute every measure of a composite subset measure
+// query in a single pass of sorting and scanning, following the
+// aggregation workflow's topological order.
+//
+// Concretely the evaluator sorts the block (the reducer-side "second
+// sort" quantified in Figure 4(d); it can be skipped when the framework
+// delivered the records pre-sorted under a combined key), then performs
+// one scan that simultaneously builds every basic measure's groups and
+// the per-grain occupancy index, and finally derives composite measures
+// grain by grain: self measures join on the same (or parent) region,
+// rollups aggregate child regions, inherits copy parent values down, and
+// sibling measures aggregate a window of neighbouring regions.
+//
+// A measure value of NaN means "undefined" (e.g. a ratio over a missing
+// source); undefined results are suppressed — they are neither output nor
+// visible to downstream measures. Composite measures are evaluated at the
+// *occupied* regions of their grain (regions containing at least one raw
+// record), so result sets are always data-driven.
+package localeval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// Result is one measure record <region, value>.
+type Result struct {
+	Measure string
+	Region  cube.Region
+	Value   float64
+}
+
+// Stats counts the evaluator's work for cost accounting.
+type Stats struct {
+	SortedItems    int64 // records sorted by the in-block sort (0 if skipped)
+	ScannedRecords int64 // records scanned
+	WindowLookups  int64 // sibling-window probes
+	Results        int64 // measure records produced
+}
+
+// Options tune one evaluation.
+type Options struct {
+	// SkipSort indicates the records already arrive in a total order
+	// (the combined-key optimization of Section III-D). Ignored by
+	// ChainScan, which requires its own attribute-permuted order.
+	SkipSort bool
+	// Scan selects the group-construction strategy (see ScanMode).
+	Scan ScanMode
+}
+
+// Evaluator evaluates one workflow over blocks of records. It is
+// stateless across Evaluate calls and safe for concurrent use.
+type Evaluator struct {
+	w      *workflow.Workflow
+	schema *cube.Schema
+	order  []*workflow.Measure
+	grains []cube.Grain // distinct grains, indexed by grainIdx
+	gidx   map[string]int
+}
+
+// New validates the workflow and builds an evaluator.
+func New(w *workflow.Workflow) (*Evaluator, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := w.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{w: w, schema: w.Schema(), order: order, gidx: make(map[string]int)}
+	for _, m := range order {
+		e.grainIndex(m.Grain)
+	}
+	return e, nil
+}
+
+func grainKey(g cube.Grain) string {
+	b := make([]byte, len(g))
+	for i, l := range g {
+		b[i] = byte(l)
+	}
+	return string(b)
+}
+
+func (e *Evaluator) grainIndex(g cube.Grain) int {
+	k := grainKey(g)
+	if i, ok := e.gidx[k]; ok {
+		return i
+	}
+	e.gidx[k] = len(e.grains)
+	e.grains = append(e.grains, g.Clone())
+	return len(e.grains) - 1
+}
+
+// regionIndex records which regions of a grain are occupied, with their
+// coordinates.
+type regionIndex struct {
+	coords map[string][]int64
+}
+
+// measureState holds one measure's computed (non-NaN) values by region
+// key at the measure's grain.
+type measureState struct {
+	values map[string]float64
+}
+
+// Evaluate computes all measures over the block's records.
+func (e *Evaluator) Evaluate(records []cube.Record, opt Options) ([]Result, Stats, error) {
+	var stats Stats
+	occupancy := make([]regionIndex, len(e.grains))
+	for i := range occupancy {
+		occupancy[i] = regionIndex{coords: make(map[string][]int64)}
+	}
+	basicAggs := make(map[string]map[string]measure.Aggregator)
+	if opt.Scan == ChainScan {
+		e.scanChain(records, occupancy, basicAggs, &stats)
+	} else {
+		e.scanHash(records, opt, occupancy, basicAggs, &stats)
+	}
+	out, err := e.finish(occupancy, basicAggs, &stats)
+	return out, stats, err
+}
+
+// scanHash builds every grain's occupancy and every basic measure's
+// aggregators through hash tables in a single scan.
+func (e *Evaluator) scanHash(records []cube.Record, opt Options, occupancy []regionIndex, basicAggs map[string]map[string]measure.Aggregator, stats *Stats) {
+	s := e.schema
+	if !opt.SkipSort {
+		SortRecords(records)
+		stats.SortedItems = int64(len(records))
+	}
+	type basicAgg struct {
+		m    *workflow.Measure
+		aggs map[string]measure.Aggregator
+		gi   int
+	}
+	var basics []*basicAgg
+	for _, m := range e.order {
+		if m.Kind == workflow.Basic {
+			aggs := make(map[string]measure.Aggregator)
+			basicAggs[m.Name] = aggs
+			basics = append(basics, &basicAgg{m: m, aggs: aggs, gi: e.grainIndex(m.Grain)})
+		}
+	}
+	coord := make([]int64, s.NumAttrs())
+	keys := make([]string, len(e.grains))
+	for _, rec := range records {
+		stats.ScannedRecords++
+		for gi, g := range e.grains {
+			s.CoordOf(rec, g, coord)
+			k := cube.EncodeCoords(coord)
+			keys[gi] = k
+			if _, ok := occupancy[gi].coords[k]; !ok {
+				occupancy[gi].coords[k] = append([]int64(nil), coord...)
+			}
+		}
+		for _, b := range basics {
+			k := keys[b.gi]
+			agg, ok := b.aggs[k]
+			if !ok {
+				agg = b.m.Agg.New()
+				b.aggs[k] = agg
+			}
+			if b.m.InputAttr >= 0 {
+				agg.Add(float64(rec[b.m.InputAttr]))
+			} else {
+				agg.Add(0)
+			}
+		}
+	}
+}
+
+// scanChain sorts by a grain-derived attribute permutation and streams
+// contiguous groups for every chain-compatible grain, hashing only the
+// rest (see ScanMode).
+func (e *Evaluator) scanChain(records []cube.Record, occupancy []regionIndex, basicAggs map[string]map[string]measure.Aggregator, stats *Stats) {
+	s := e.schema
+	perm := chainPermutation(s, e.grains)
+	sortRecordsByPerm(records, perm)
+	stats.SortedItems = int64(len(records))
+
+	// Group the basic measures by grain and split grains into streamed
+	// and hashed sets.
+	basicsByGrain := make([][]*workflow.Measure, len(e.grains))
+	for _, m := range e.order {
+		if m.Kind == workflow.Basic {
+			basicAggs[m.Name] = make(map[string]measure.Aggregator)
+			gi := e.grainIndex(m.Grain)
+			basicsByGrain[gi] = append(basicsByGrain[gi], m)
+		}
+	}
+	var chains []*chainState
+	var hashed []int // grain indices aggregated through hashing
+	for gi, g := range e.grains {
+		if chainCompatible(s, g, perm) {
+			cs := &chainState{gi: gi, grain: g, coords: make([]int64, s.NumAttrs()), occ: &occupancy[gi]}
+			for _, m := range basicsByGrain[gi] {
+				cs.basics = append(cs.basics, &chainBasic{m: m, aggs: basicAggs[m.Name]})
+			}
+			chains = append(chains, cs)
+		} else {
+			hashed = append(hashed, gi)
+		}
+	}
+
+	coord := make([]int64, s.NumAttrs())
+	for _, rec := range records {
+		stats.ScannedRecords++
+		for _, cs := range chains {
+			s.CoordOf(rec, cs.grain, coord)
+			if cs.boundary(coord) {
+				cs.flush()
+				cs.openGroup(coord)
+			}
+			for _, b := range cs.basics {
+				if b.m.InputAttr >= 0 {
+					b.cur.Add(float64(rec[b.m.InputAttr]))
+				} else {
+					b.cur.Add(0)
+				}
+			}
+		}
+		for _, gi := range hashed {
+			g := e.grains[gi]
+			s.CoordOf(rec, g, coord)
+			k := cube.EncodeCoords(coord)
+			if _, ok := occupancy[gi].coords[k]; !ok {
+				occupancy[gi].coords[k] = append([]int64(nil), coord...)
+			}
+			for _, m := range basicsByGrain[gi] {
+				aggs := basicAggs[m.Name]
+				agg, ok := aggs[k]
+				if !ok {
+					agg = m.Agg.New()
+					aggs[k] = agg
+				}
+				if m.InputAttr >= 0 {
+					agg.Add(float64(rec[m.InputAttr]))
+				} else {
+					agg.Add(0)
+				}
+			}
+		}
+	}
+	for _, cs := range chains {
+		cs.flush()
+	}
+}
+
+// BasicGroup is one pre-aggregated basic-measure group, used when early
+// aggregation shipped partial states instead of raw records.
+type BasicGroup struct {
+	// Coords are the region's coordinates at the basic measure's grain.
+	Coords []int64
+	// Agg is the merged partial aggregate for the region.
+	Agg measure.Aggregator
+}
+
+// EvaluateFromBasics computes all measures from pre-merged basic-measure
+// aggregates (the early-aggregation path of Section III-D). Every basic
+// measure must be present in basics. The per-grain occupancy index is
+// reconstructed from basic measures at equal or finer grains, so the
+// workflow must satisfy the coverage condition checked by
+// SupportsEarlyAggregation.
+func (e *Evaluator) EvaluateFromBasics(basics map[string][]BasicGroup) ([]Result, Stats, error) {
+	var stats Stats
+	if err := e.SupportsEarlyAggregation(); err != nil {
+		return nil, stats, err
+	}
+	s := e.schema
+	occupancy := make([]regionIndex, len(e.grains))
+	for i := range occupancy {
+		occupancy[i] = regionIndex{coords: make(map[string][]int64)}
+	}
+	basicAggs := make(map[string]map[string]measure.Aggregator, len(basics))
+	for _, m := range e.order {
+		if m.Kind != workflow.Basic {
+			continue
+		}
+		groups, ok := basics[m.Name]
+		if !ok {
+			return nil, stats, fmt.Errorf("localeval: missing basic measure %q in pre-aggregated input", m.Name)
+		}
+		aggs := make(map[string]measure.Aggregator, len(groups))
+		basicAggs[m.Name] = aggs
+		coord := make([]int64, s.NumAttrs())
+		for _, g := range groups {
+			k := cube.EncodeCoords(g.Coords)
+			if prev, dup := aggs[k]; dup {
+				if err := prev.MergeState(g.Agg.State()); err != nil {
+					return nil, stats, err
+				}
+			} else {
+				aggs[k] = g.Agg
+			}
+			// Populate occupancy at every grain this basic's grain
+			// specializes, by rolling the region coordinates up.
+			for gi, grain := range e.grains {
+				if !grain.GeneralizationOf(m.Grain) {
+					continue
+				}
+				for i := range coord {
+					coord[i] = s.Attr(i).RollBetween(g.Coords[i], m.Grain[i], grain[i])
+				}
+				ck := cube.EncodeCoords(coord)
+				if _, seen := occupancy[gi].coords[ck]; !seen {
+					occupancy[gi].coords[ck] = append([]int64(nil), coord...)
+				}
+			}
+		}
+	}
+	out, err := e.finish(occupancy, basicAggs, &stats)
+	return out, stats, err
+}
+
+// SupportsEarlyAggregation reports whether the paper's early-aggregation
+// conditions hold for this workflow: every basic measure's aggregate is
+// algebraic or distributive, and every measure grain is covered by some
+// basic measure at an equal or finer grain (so occupancy can be
+// reconstructed from partial aggregates alone).
+func (e *Evaluator) SupportsEarlyAggregation() error {
+	for _, m := range e.order {
+		if m.Kind == workflow.Basic && !m.Agg.Mergeable() {
+			return fmt.Errorf("localeval: basic measure %q is %s (holistic); early aggregation needs algebraic or distributive functions",
+				m.Name, m.Agg)
+		}
+	}
+	for _, m := range e.order {
+		covered := false
+		for _, b := range e.order {
+			if b.Kind == workflow.Basic && m.Grain.GeneralizationOf(b.Grain) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("localeval: measure %q grain %s has no basic measure at an equal or finer grain; occupancy cannot be reconstructed",
+				m.Name, e.schema.FormatGrain(m.Grain))
+		}
+	}
+	return nil
+}
+
+// finish derives every measure in topological order from the occupancy
+// index and the basic aggregates, then materializes results.
+func (e *Evaluator) finish(occupancy []regionIndex, basicAggs map[string]map[string]measure.Aggregator, stats *Stats) ([]Result, error) {
+	states := make(map[string]*measureState, len(e.order))
+	for _, m := range e.order {
+		st := &measureState{values: make(map[string]float64)}
+		states[m.Name] = st
+		switch m.Kind {
+		case workflow.Basic:
+			for k, agg := range basicAggs[m.Name] {
+				if v := agg.Result(); !math.IsNaN(v) {
+					st.values[k] = v
+				}
+			}
+		case workflow.Self:
+			if err := e.evalSelf(m, st, states, occupancy); err != nil {
+				return nil, err
+			}
+		case workflow.Inherit:
+			if err := e.evalInherit(m, st, states, occupancy); err != nil {
+				return nil, err
+			}
+		case workflow.Rollup:
+			if err := e.evalRollup(m, st, states, occupancy); err != nil {
+				return nil, err
+			}
+		case workflow.Sliding:
+			if err := e.evalSliding(m, st, states, occupancy, stats); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("localeval: unknown kind %v", m.Kind)
+		}
+	}
+
+	// Materialize results in deterministic order.
+	var out []Result
+	for _, m := range e.order {
+		st := states[m.Name]
+		gi := e.grainIndex(m.Grain)
+		keys := make([]string, 0, len(st.values))
+		for k := range st.values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, Result{
+				Measure: m.Name,
+				Region:  cube.Region{Grain: m.Grain, Coord: occupancy[gi].coords[k]},
+				Value:   st.values[k],
+			})
+		}
+	}
+	stats.Results = int64(len(out))
+	return out, nil
+}
+
+// lookupAt resolves a source measure's value for the region with the given
+// coordinates at grain g, rolling up to the source's grain as needed.
+func (e *Evaluator) lookupAt(src *workflow.Measure, st *measureState, coords []int64, g cube.Grain) (float64, bool) {
+	s := e.schema
+	buf := make([]int64, len(coords))
+	for i := range coords {
+		buf[i] = s.Attr(i).RollBetween(coords[i], g[i], src.Grain[i])
+	}
+	v, ok := st.values[cube.EncodeCoords(buf)]
+	return v, ok
+}
+
+func (e *Evaluator) evalSelf(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex) error {
+	gi := e.grainIndex(m.Grain)
+	srcs := make([]*workflow.Measure, len(m.Sources))
+	for i, name := range m.Sources {
+		sm, ok := e.w.Measure(name)
+		if !ok {
+			return fmt.Errorf("localeval: missing source %q", name)
+		}
+		srcs[i] = sm
+	}
+	args := make([]float64, len(srcs))
+	for k, coords := range occ[gi].coords {
+		for i, sm := range srcs {
+			v, ok := e.lookupAt(sm, states[sm.Name], coords, m.Grain)
+			if !ok {
+				v = math.NaN()
+			}
+			args[i] = v
+		}
+		if v := m.Expr.Eval(args); !math.IsNaN(v) {
+			st.values[k] = v
+		}
+	}
+	return nil
+}
+
+func (e *Evaluator) evalInherit(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex) error {
+	gi := e.grainIndex(m.Grain)
+	sm, ok := e.w.Measure(m.Sources[0])
+	if !ok {
+		return fmt.Errorf("localeval: missing source %q", m.Sources[0])
+	}
+	for k, coords := range occ[gi].coords {
+		if v, ok := e.lookupAt(sm, states[sm.Name], coords, m.Grain); ok && !math.IsNaN(v) {
+			st.values[k] = v
+		}
+	}
+	return nil
+}
+
+func (e *Evaluator) evalRollup(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex) error {
+	s := e.schema
+	sm, ok := e.w.Measure(m.Sources[0])
+	if !ok {
+		return fmt.Errorf("localeval: missing source %q", m.Sources[0])
+	}
+	sgi := e.grainIndex(sm.Grain)
+	aggs := make(map[string]measure.Aggregator)
+	parent := make([]int64, s.NumAttrs())
+	for k, v := range states[sm.Name].values {
+		coords := occ[sgi].coords[k]
+		for i := range coords {
+			parent[i] = s.Attr(i).RollBetween(coords[i], sm.Grain[i], m.Grain[i])
+		}
+		pk := cube.EncodeCoords(parent)
+		agg, ok := aggs[pk]
+		if !ok {
+			agg = m.Agg.New()
+			aggs[pk] = agg
+			// Record the parent's coordinates so results can name the
+			// region even if no measure grain matched it during the scan.
+			gi := e.grainIndex(m.Grain)
+			if _, seen := occ[gi].coords[pk]; !seen {
+				occ[gi].coords[pk] = append([]int64(nil), parent...)
+			}
+		}
+		agg.Add(v)
+	}
+	for pk, agg := range aggs {
+		if v := agg.Result(); !math.IsNaN(v) {
+			st.values[pk] = v
+		}
+	}
+	return nil
+}
+
+func (e *Evaluator) evalSliding(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex, stats *Stats) error {
+	gi := e.grainIndex(m.Grain)
+	sm, ok := e.w.Measure(m.Sources[0])
+	if !ok {
+		return fmt.Errorf("localeval: missing source %q", m.Sources[0])
+	}
+	src := states[sm.Name]
+	probe := make([]int64, e.schema.NumAttrs())
+	for k, coords := range occ[gi].coords {
+		agg := m.Agg.New()
+		e.windowScan(m.Window, 0, coords, probe, func() {
+			stats.WindowLookups++
+			if v, ok := src.values[cube.EncodeCoords(probe)]; ok {
+				agg.Add(v)
+			}
+		})
+		if agg.N() == 0 {
+			continue
+		}
+		if v := agg.Result(); !math.IsNaN(v) {
+			st.values[k] = v
+		}
+	}
+	return nil
+}
+
+// windowScan enumerates the cross product of window offsets, filling
+// probe with each sibling's coordinates and invoking visit. Coordinates
+// outside the attribute's domain are skipped.
+func (e *Evaluator) windowScan(window []workflow.RangeAnn, i int, base, probe []int64, visit func()) {
+	if i == 0 {
+		copy(probe, base)
+	}
+	if i == len(window) {
+		visit()
+		return
+	}
+	ann := window[i]
+	// The grain level of the annotated attribute is the measure's grain
+	// level; base coords are at that grain already.
+	for off := ann.Low; off <= ann.High; off++ {
+		c := base[ann.Attr] + off
+		if c < 0 {
+			continue
+		}
+		probe[ann.Attr] = c
+		e.windowScan(window, i+1, base, probe, visit)
+	}
+	probe[ann.Attr] = base[ann.Attr]
+}
+
+// SortRecords orders records lexicographically by their finest-level
+// values; any total order works for the hash-based group construction,
+// and a deterministic one makes runs reproducible (this is the in-group
+// sort whose cost Figure 4(d) isolates).
+func SortRecords(records []cube.Record) {
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

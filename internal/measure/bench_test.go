@@ -1,0 +1,38 @@
+package measure
+
+import "testing"
+
+// BenchmarkAggregators measures per-value aggregation cost by class.
+func BenchmarkAggregators(b *testing.B) {
+	for _, s := range []Spec{
+		{Func: Sum}, {Func: Avg}, {Func: Median}, {Func: CountDistinct},
+	} {
+		b.Run(string(s.Func), func(b *testing.B) {
+			agg := s.New()
+			for i := 0; i < b.N; i++ {
+				agg.Add(float64(i % 1000))
+			}
+			_ = agg.Result()
+		})
+	}
+}
+
+// BenchmarkStateMerge measures the combiner's merge path.
+func BenchmarkStateMerge(b *testing.B) {
+	for _, s := range []Spec{{Func: Sum}, {Func: Avg}} {
+		b.Run(string(s.Func), func(b *testing.B) {
+			part := s.New()
+			for i := 0; i < 100; i++ {
+				part.Add(float64(i))
+			}
+			state := part.State()
+			agg := s.New()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := agg.MergeState(state); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Expr is a scalar expression over the results of a measure's source
+// measures, used by the paper's "self" relationship (Table II): the
+// measure of a region is computed from other measures of the same region,
+// e.g. M3 = M1 / M2 in the weblog example.
+//
+// Eval receives the source values in declaration order. A missing source
+// (region absent from a source measure's result) arrives as NaN, and
+// expressions propagate NaN.
+type Expr interface {
+	Eval(args []float64) float64
+	// Arity returns the number of source values consumed, or -1 if the
+	// expression accepts any number.
+	Arity() int
+	String() string
+}
+
+type ratioExpr struct{}
+
+// Ratio returns args[0] / args[1]; division by zero yields NaN, matching
+// SQL semantics where the surrounding measure record is then suppressed.
+func Ratio() Expr { return ratioExpr{} }
+
+func (ratioExpr) Arity() int     { return 2 }
+func (ratioExpr) String() string { return "ratio" }
+func (ratioExpr) Eval(args []float64) float64 {
+	if len(args) != 2 || args[1] == 0 {
+		return math.NaN()
+	}
+	return args[0] / args[1]
+}
+
+type addExpr struct{}
+
+// Add returns the sum of all source values.
+func Add() Expr { return addExpr{} }
+
+func (addExpr) Arity() int     { return -1 }
+func (addExpr) String() string { return "add" }
+func (addExpr) Eval(args []float64) float64 {
+	s := 0.0
+	for _, a := range args {
+		s += a
+	}
+	return s
+}
+
+type subExpr struct{}
+
+// Sub returns args[0] − args[1].
+func Sub() Expr { return subExpr{} }
+
+func (subExpr) Arity() int     { return 2 }
+func (subExpr) String() string { return "sub" }
+func (subExpr) Eval(args []float64) float64 {
+	if len(args) != 2 {
+		return math.NaN()
+	}
+	return args[0] - args[1]
+}
+
+type mulExpr struct{}
+
+// Mul returns the product of all source values.
+func Mul() Expr { return mulExpr{} }
+
+func (mulExpr) Arity() int     { return -1 }
+func (mulExpr) String() string { return "mul" }
+func (mulExpr) Eval(args []float64) float64 {
+	p := 1.0
+	for _, a := range args {
+		p *= a
+	}
+	return p
+}
+
+type identExpr struct{}
+
+// Ident returns its single source value unchanged; useful to re-grain a
+// measure (parent→child broadcast with no arithmetic).
+func Ident() Expr { return identExpr{} }
+
+func (identExpr) Arity() int     { return 1 }
+func (identExpr) String() string { return "ident" }
+func (identExpr) Eval(args []float64) float64 {
+	if len(args) != 1 {
+		return math.NaN()
+	}
+	return args[0]
+}
+
+type scaleExpr struct{ k float64 }
+
+// Scale returns k · args[0].
+func Scale(k float64) Expr { return scaleExpr{k} }
+
+func (e scaleExpr) Arity() int     { return 1 }
+func (e scaleExpr) String() string { return fmt.Sprintf("scale(%g)", e.k) }
+func (e scaleExpr) Eval(args []float64) float64 {
+	if len(args) != 1 {
+		return math.NaN()
+	}
+	return e.k * args[0]
+}
+
+// FuncExpr wraps an arbitrary Go function as an Expr, for callers that
+// need bespoke per-region arithmetic.
+type FuncExpr struct {
+	Name  string
+	NArgs int // -1 for variadic
+	Fn    func(args []float64) float64
+}
+
+// Arity implements Expr.
+func (e FuncExpr) Arity() int { return e.NArgs }
+
+// String implements Expr.
+func (e FuncExpr) String() string {
+	if e.Name == "" {
+		return "func"
+	}
+	return e.Name
+}
+
+// Eval implements Expr.
+func (e FuncExpr) Eval(args []float64) float64 {
+	if e.NArgs >= 0 && len(args) != e.NArgs {
+		return math.NaN()
+	}
+	return e.Fn(args)
+}
+
+// ExprByName resolves the named builtin expression, as used by the CQL
+// parser. Supported names: ratio, add, sub, mul, ident.
+func ExprByName(name string) (Expr, error) {
+	switch strings.ToLower(name) {
+	case "ratio":
+		return Ratio(), nil
+	case "add":
+		return Add(), nil
+	case "sub":
+		return Sub(), nil
+	case "mul":
+		return Mul(), nil
+	case "ident":
+		return Ident(), nil
+	default:
+		return nil, fmt.Errorf("measure: unknown expression %q", name)
+	}
+}

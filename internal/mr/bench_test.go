@@ -1,0 +1,68 @@
+package mr
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// BenchmarkShuffleTransports measures framework throughput (map + shuffle
+// + sort + reduce) under both transports on a grouping job.
+func BenchmarkShuffleTransports(b *testing.B) {
+	records := make([][]byte, 100_000)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf("g%d %d", i%997, i))
+	}
+	job := func(factory transport.Factory, dir string) Job {
+		return Job{
+			Input: NewMemoryInput(records, 8),
+			Map: func(ctx *MapCtx, rec []byte) error {
+				for j := 0; j < len(rec); j++ {
+					if rec[j] == ' ' {
+						return ctx.Emit(string(rec[:j]), rec[j+1:])
+					}
+				}
+				return nil
+			},
+			Reduce: func(ctx *ReduceCtx, key string, values *GroupIter) error {
+				n := 0
+				for {
+					_, ok, err := values.Next()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+					n++
+				}
+				ctx.Emit(key, []byte(strconv.Itoa(n)))
+				return nil
+			},
+			Config: Config{NumReducers: 4, Transport: factory, TempDir: dir},
+		}
+	}
+	for _, c := range []struct {
+		name    string
+		factory transport.Factory
+	}{
+		{"channel", transport.ChannelFactory(0)},
+		{"tcp", transport.TCPFactory(0)},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(job(c.factory, dir))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Output) != 997 {
+					b.Fatalf("groups = %d", len(res.Output))
+				}
+			}
+			b.ReportMetric(float64(len(records)*b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package mr
+
+import (
+	"fmt"
+
+	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/recio"
+)
+
+// --- in-memory input (tests, small jobs) ---
+
+type memoryInput struct {
+	splits []Split
+}
+
+type memorySplit struct {
+	label   string
+	records [][]byte
+	bytes   int64
+}
+
+type memoryIter struct {
+	records [][]byte
+	i       int
+}
+
+// NewMemoryInput splits the given records into numSplits in-memory
+// splits. Records alias the caller's slices.
+func NewMemoryInput(records [][]byte, numSplits int) Input {
+	if numSplits < 1 {
+		numSplits = 1
+	}
+	if numSplits > len(records) && len(records) > 0 {
+		numSplits = len(records)
+	}
+	in := &memoryInput{}
+	if len(records) == 0 {
+		in.splits = append(in.splits, &memorySplit{label: "mem-0"})
+		return in
+	}
+	per := (len(records) + numSplits - 1) / numSplits
+	for i := 0; i < len(records); i += per {
+		end := i + per
+		if end > len(records) {
+			end = len(records)
+		}
+		sp := &memorySplit{label: fmt.Sprintf("mem-%d", i/per), records: records[i:end]}
+		for _, r := range records[i:end] {
+			sp.bytes += int64(len(r))
+		}
+		in.splits = append(in.splits, sp)
+	}
+	return in
+}
+
+func (in *memoryInput) Splits() ([]Split, error) { return in.splits, nil }
+
+func (sp *memorySplit) Label() string    { return sp.label }
+func (sp *memorySplit) SizeBytes() int64 { return sp.bytes }
+func (sp *memorySplit) Open() (RecordIter, error) {
+	return &memoryIter{records: sp.records}, nil
+}
+
+func (it *memoryIter) Next() ([]byte, bool, error) {
+	if it.i >= len(it.records) {
+		return nil, false, nil
+	}
+	r := it.records[it.i]
+	it.i++
+	return r, true, nil
+}
+
+// --- DFS input: one split per DFS block, frames decoded by recio ---
+
+type dfsInput struct {
+	fs   *dfs.FS
+	file string
+}
+
+type dfsSplit struct {
+	fs   *dfs.FS
+	info dfs.BlockInfo
+}
+
+type dfsIter struct {
+	fr *recio.FrameReader
+}
+
+// NewDFSInput reads a recio-packed file from the DFS, one split per
+// block (records never straddle blocks by construction).
+func NewDFSInput(fs *dfs.FS, file string) Input {
+	return &dfsInput{fs: fs, file: file}
+}
+
+func (in *dfsInput) Splits() ([]Split, error) {
+	blocks, err := in.fs.Blocks(in.file)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Split, len(blocks))
+	for i, b := range blocks {
+		out[i] = &dfsSplit{fs: in.fs, info: b}
+	}
+	return out, nil
+}
+
+func (sp *dfsSplit) Label() string {
+	return fmt.Sprintf("%s[%d]", sp.info.File, sp.info.Index)
+}
+func (sp *dfsSplit) SizeBytes() int64 { return int64(sp.info.Size) }
+func (sp *dfsSplit) Open() (RecordIter, error) {
+	data, err := sp.fs.ReadBlock(sp.info.File, sp.info.Index)
+	if err != nil {
+		return nil, err
+	}
+	return &dfsIter{fr: recio.NewFrameReader(data)}, nil
+}
+
+func (it *dfsIter) Next() ([]byte, bool, error) { return it.fr.Next() }

@@ -1,0 +1,214 @@
+// Package mr is a from-scratch MapReduce-style execution framework, the
+// substrate the paper runs on (it used Hadoop; "the algorithm can be
+// implemented in any OLAP system which supports scatter-and-gather
+// evaluation paradigm"). It provides:
+//
+//   - input splits (DFS blocks or in-memory slices) fanned out to a pool
+//     of concurrent map tasks;
+//   - optional map-side combining (the paper's early aggregation);
+//   - a hash-partitioned shuffle over a pluggable transport (in-memory
+//     channels or real TCP/gob);
+//   - reducer-side grouping via external sort, with a configurable group
+//     identity so a composite sort key can carry a secondary order (the
+//     Section III-D combined-key optimization);
+//   - per-task counters that feed the cost model, and fault injection
+//     with bounded task retry.
+//
+// The framework is intentionally synchronous per job: Run executes the
+// whole job and returns its output and statistics.
+package mr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"time"
+
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// TaskStats counts one task's work; the fields mirror
+// costmodel.MapWork/ReduceWork.
+type TaskStats struct {
+	Task     string
+	Attempts int
+
+	// Map side.
+	BytesRead     int64
+	Records       int64
+	PairsOut      int64
+	BytesOut      int64
+	CombineInputs int64
+
+	// Reduce side.
+	PairsIn         int64
+	BytesIn         int64
+	SortItems       int64
+	SpillBytes      int64
+	SpillRuns       int64
+	GroupSortItems  int64
+	GroupSpillBytes int64
+	EvalRecords     int64
+	OutputRecords   int64
+}
+
+// JobStats aggregates a run's counters.
+type JobStats struct {
+	MapTasks    []TaskStats
+	ReduceTasks []TaskStats
+	Shuffled    int64
+	Wall        time.Duration
+}
+
+// TotalOutputRecords sums the reducers' emitted records.
+func (s JobStats) TotalOutputRecords() int64 {
+	var n int64
+	for _, t := range s.ReduceTasks {
+		n += t.OutputRecords
+	}
+	return n
+}
+
+// RecordIter yields the raw records of one split.
+type RecordIter interface {
+	// Next returns the next record; the returned slice is only valid
+	// until the following call.
+	Next() ([]byte, bool, error)
+}
+
+// Split is one independently processable chunk of input.
+type Split interface {
+	Label() string
+	SizeBytes() int64
+	Open() (RecordIter, error)
+}
+
+// Input enumerates a job's splits.
+type Input interface {
+	Splits() ([]Split, error)
+}
+
+// MapCtx is passed to the map function.
+type MapCtx struct {
+	// Stats are the task's counters; map functions may bump EvalRecords
+	// etc. for engine-specific accounting.
+	Stats *TaskStats
+	emit  func(key string, value []byte) error
+}
+
+// Emit sends one key/value pair into the shuffle.
+func (c *MapCtx) Emit(key string, value []byte) error { return c.emit(key, value) }
+
+// MapFunc processes one input record.
+type MapFunc func(ctx *MapCtx, record []byte) error
+
+// CombineFunc merges the buffered values of one key map-side and returns
+// the (hopefully fewer/smaller) values to ship.
+type CombineFunc func(key string, values [][]byte) ([][]byte, error)
+
+// ReduceCtx is passed to the reduce function.
+type ReduceCtx struct {
+	Stats   *TaskStats
+	TempDir string
+	emit    func(key string, value []byte)
+}
+
+// Emit contributes one record to the job output.
+func (c *ReduceCtx) Emit(key string, value []byte) {
+	c.Stats.OutputRecords++
+	c.emit(key, value)
+}
+
+// ReduceFunc processes one group. Values arrive ordered by the full
+// shuffle key (useful with a composite key); the group boundary is
+// defined by Config.GroupBy.
+type ReduceFunc func(ctx *ReduceCtx, groupKey string, values *GroupIter) error
+
+// Config tunes a job run.
+type Config struct {
+	// NumReducers is the number of reduce tasks (required, ≥ 1).
+	NumReducers int
+	// MapParallelism bounds concurrent map tasks (default GOMAXPROCS).
+	MapParallelism int
+	// ReduceParallelism bounds concurrent reduce tasks (default GOMAXPROCS).
+	ReduceParallelism int
+	// Transport produces the shuffle transport (default in-memory).
+	Transport transport.Factory
+	// Combine enables map-side early aggregation when non-nil.
+	Combine CombineFunc
+	// CombineBufferPairs flushes the combine buffer at this many buffered
+	// pairs (default 65536).
+	CombineBufferPairs int
+	// ShuffleDisabled runs the map phase only (the Figure 4(d) "Map-Only"
+	// stage): pairs are counted but not sent, and no reduce phase runs.
+	ShuffleDisabled bool
+	// SortMemoryItems bounds the reducer's in-memory sort buffer in items
+	// before spilling (default 1<<20; set small to force external sort).
+	SortMemoryItems int
+	// TempDir hosts spill files (default OS temp).
+	TempDir string
+	// Partition maps a key to a reducer (default FNV-1a hash).
+	Partition func(key string, numReducers int) int
+	// GroupBy extracts the group identity from a shuffle key (default
+	// identity). With a composite key "block|sortsuffix" the engine sets
+	// this to strip the suffix, realizing the combined-key sort.
+	GroupBy func(key string) string
+	// FailureInjector, when non-nil, is called at each task start; a
+	// non-nil error fails that attempt (used by fault-tolerance tests).
+	FailureInjector func(task string, attempt int) error
+	// MaxAttempts bounds task retries (default 3).
+	MaxAttempts int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NumReducers < 1 {
+		return c, fmt.Errorf("mr: NumReducers %d < 1", c.NumReducers)
+	}
+	if c.MapParallelism < 1 {
+		c.MapParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.ReduceParallelism < 1 {
+		c.ReduceParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Transport == nil {
+		c.Transport = transport.ChannelFactory(0)
+	}
+	if c.CombineBufferPairs < 1 {
+		c.CombineBufferPairs = 1 << 16
+	}
+	if c.SortMemoryItems < 1 {
+		c.SortMemoryItems = 1 << 20
+	}
+	if c.Partition == nil {
+		c.Partition = HashPartition
+	}
+	if c.GroupBy == nil {
+		c.GroupBy = func(k string) string { return k }
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	return c, nil
+}
+
+// HashPartition is the default FNV-1a partitioner.
+func HashPartition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Job couples input, user functions, and configuration.
+type Job struct {
+	Name   string
+	Input  Input
+	Map    MapFunc
+	Reduce ReduceFunc
+	Config Config
+}
+
+// Result is a completed job's output.
+type Result struct {
+	Output []transport.Pair
+	Stats  JobStats
+}

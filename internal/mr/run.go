@@ -1,0 +1,406 @@
+package mr
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/casm-project/casm/internal/sortx"
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// Run executes the job to completion and returns its output and counters.
+func Run(job Job) (*Result, error) {
+	cfg, err := job.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if job.Input == nil || job.Map == nil {
+		return nil, fmt.Errorf("mr: job needs Input and Map")
+	}
+	if job.Reduce == nil && !cfg.ShuffleDisabled {
+		return nil, fmt.Errorf("mr: job needs Reduce unless ShuffleDisabled")
+	}
+	splits, err := job.Input.Splits()
+	if err != nil {
+		return nil, fmt.Errorf("mr: splits: %w", err)
+	}
+	start := time.Now()
+
+	var tr transport.Transport
+	if !cfg.ShuffleDisabled {
+		tr, err = cfg.Transport(cfg.NumReducers)
+		if err != nil {
+			return nil, fmt.Errorf("mr: transport: %w", err)
+		}
+		defer tr.Close()
+	}
+
+	// Reducer collectors: drain the shuffle into per-reducer external
+	// sorters concurrently with the map phase, so transport backpressure
+	// never deadlocks.
+	reduceStats := make([]TaskStats, cfg.NumReducers)
+	sorters := make([]*sortx.Sorter[transport.Pair], cfg.NumReducers)
+	var collectWG sync.WaitGroup
+	var collectErr firstErr
+	if !cfg.ShuffleDisabled {
+		for r := 0; r < cfg.NumReducers; r++ {
+			r := r
+			reduceStats[r].Task = fmt.Sprintf("reduce-%d", r)
+			sorters[r] = sortx.New(
+				func(a, b transport.Pair) bool { return a.Key < b.Key },
+				pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
+			collectWG.Add(1)
+			go func() {
+				defer collectWG.Done()
+				st := &reduceStats[r]
+				for p := range tr.Receive(r) {
+					st.PairsIn++
+					st.BytesIn += p.Size()
+					if collectErr.get() != nil {
+						continue // keep draining to avoid sender deadlock
+					}
+					if err := sorters[r].Add(p); err != nil {
+						collectErr.set(err)
+					}
+				}
+			}()
+		}
+	}
+
+	// Map phase.
+	mapStats := make([]TaskStats, len(splits))
+	var mapErr firstErr
+	sem := make(chan struct{}, cfg.MapParallelism)
+	var mapWG sync.WaitGroup
+	for i, sp := range splits {
+		i, sp := i, sp
+		mapWG.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; mapWG.Done() }()
+			if mapErr.get() != nil {
+				return
+			}
+			st := &mapStats[i]
+			st.Task = sp.Label()
+			if err := runMapTask(job.Map, sp, st, cfg, tr); err != nil {
+				mapErr.set(fmt.Errorf("mr: map task %s: %w", sp.Label(), err))
+			}
+		}()
+	}
+	mapWG.Wait()
+	if tr != nil {
+		if err := tr.CloseSend(); err != nil {
+			mapErr.set(err)
+		}
+		collectWG.Wait()
+	}
+	if err := mapErr.get(); err != nil {
+		return nil, err
+	}
+	if err := collectErr.get(); err != nil {
+		return nil, fmt.Errorf("mr: collect: %w", err)
+	}
+
+	result := &Result{Stats: JobStats{MapTasks: mapStats, ReduceTasks: reduceStats}}
+	if tr != nil {
+		result.Stats.Shuffled = tr.BytesSent()
+	}
+	if cfg.ShuffleDisabled {
+		result.Stats.Wall = time.Since(start)
+		result.Stats.ReduceTasks = nil
+		return result, nil
+	}
+
+	// Reduce phase: process each reducer's sorted stream group by group.
+	outputs := make([][]transport.Pair, cfg.NumReducers)
+	var redErr firstErr
+	rsem := make(chan struct{}, cfg.ReduceParallelism)
+	var redWG sync.WaitGroup
+	for r := 0; r < cfg.NumReducers; r++ {
+		r := r
+		redWG.Add(1)
+		rsem <- struct{}{}
+		go func() {
+			defer func() { <-rsem; redWG.Done() }()
+			if redErr.get() != nil {
+				return
+			}
+			if err := runReduceTask(job.Reduce, sorters[r], &reduceStats[r], cfg, &outputs[r]); err != nil {
+				redErr.set(fmt.Errorf("mr: reduce task %d: %w", r, err))
+			}
+		}()
+	}
+	redWG.Wait()
+	if err := redErr.get(); err != nil {
+		return nil, err
+	}
+	for _, out := range outputs {
+		result.Output = append(result.Output, out...)
+	}
+	result.Stats.Wall = time.Since(start)
+	return result, nil
+}
+
+// runMapTask executes one split with retry. The failure injector only
+// fires at task start, before any pair is emitted, so retries are safe
+// (re-emission after partial sends would duplicate data; real systems
+// solve this with attempt-tagged output files, which our in-process
+// shuffle does not need).
+func runMapTask(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Transport) error {
+	var lastErr error
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		st.Attempts = attempt
+		if cfg.FailureInjector != nil {
+			if err := cfg.FailureInjector(sp.Label(), attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if err := mapOnce(mapFn, sp, st, cfg, tr); err != nil {
+			return err // mid-task errors are not retried (see above)
+		}
+		return nil
+	}
+	return fmt.Errorf("giving up after %d attempts: %w", cfg.MaxAttempts, lastErr)
+}
+
+func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Transport) error {
+	it, err := sp.Open()
+	if err != nil {
+		return err
+	}
+	st.BytesRead += sp.SizeBytes()
+
+	send := func(key string, value []byte) error {
+		st.PairsOut++
+		st.BytesOut += int64(len(key) + len(value))
+		if cfg.ShuffleDisabled {
+			return nil
+		}
+		// Partition by the group identity, not the full key, so that a
+		// composite sort key never scatters one group across reducers.
+		return tr.Send(cfg.Partition(cfg.GroupBy(key), cfg.NumReducers), transport.Pair{Key: key, Value: value})
+	}
+
+	var comb *combineBuffer
+	emit := send
+	if cfg.Combine != nil {
+		comb = newCombineBuffer(cfg.Combine, cfg.CombineBufferPairs, st, send)
+		emit = comb.add
+	}
+	ctx := &MapCtx{Stats: st, emit: emit}
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		st.Records++
+		if err := mapFn(ctx, rec); err != nil {
+			return err
+		}
+	}
+	if comb != nil {
+		return comb.flush()
+	}
+	return nil
+}
+
+func runReduceTask(reduceFn ReduceFunc, sorter *sortx.Sorter[transport.Pair], st *TaskStats, cfg Config, out *[]transport.Pair) error {
+	it, err := sorter.Iterate()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	ss := sorter.Stats()
+	st.SortItems = ss.Items
+	st.SpillBytes = ss.SpilledBytes
+	st.SpillRuns = int64(ss.Runs)
+
+	ctx := &ReduceCtx{
+		Stats:   st,
+		TempDir: cfg.TempDir,
+		emit: func(key string, value []byte) {
+			*out = append(*out, transport.Pair{Key: key, Value: append([]byte(nil), value...)})
+		},
+	}
+	cur, ok, err := it.Next()
+	if err != nil {
+		return err
+	}
+	for ok {
+		group := cfg.GroupBy(cur.Key)
+		gi := &GroupIter{it: it, groupBy: cfg.GroupBy, group: group, cur: cur, curValid: true}
+		if err := reduceFn(ctx, group, gi); err != nil {
+			return err
+		}
+		if err := gi.Drain(); err != nil {
+			return err
+		}
+		cur, ok = gi.cur, gi.curValid
+	}
+	return nil
+}
+
+// GroupIter yields the pairs of one group, in shuffle-key order.
+type GroupIter struct {
+	it       *sortx.Iterator[transport.Pair]
+	groupBy  func(string) string
+	group    string
+	cur      transport.Pair
+	curValid bool
+	done     bool
+}
+
+// Next returns the next pair of the group; ok=false at the group's end.
+func (g *GroupIter) Next() (transport.Pair, bool, error) {
+	if g.done {
+		return transport.Pair{}, false, nil
+	}
+	if !g.curValid {
+		p, ok, err := g.it.Next()
+		if err != nil {
+			return transport.Pair{}, false, err
+		}
+		if !ok {
+			g.done = true
+			return transport.Pair{}, false, nil
+		}
+		g.cur, g.curValid = p, true
+	}
+	if g.groupBy(g.cur.Key) != g.group {
+		g.done = true // cur is the first pair of the next group; keep it
+		return transport.Pair{}, false, nil
+	}
+	p := g.cur
+	g.curValid = false
+	return p, true, nil
+}
+
+// Drain consumes any unread remainder of the group; reduce functions that
+// only need the group key (e.g. stage-stopped pipelines) call it
+// explicitly, and the framework calls it after every reduce invocation.
+func (g *GroupIter) Drain() error {
+	for {
+		_, ok, err := g.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// combineBuffer implements map-side early aggregation: pairs are buffered
+// per key; when the buffer fills, each key's values are merged by the
+// combine function and shipped.
+type combineBuffer struct {
+	fn    CombineFunc
+	limit int
+	st    *TaskStats
+	send  func(key string, value []byte) error
+	buf   map[string][][]byte
+	n     int
+}
+
+func newCombineBuffer(fn CombineFunc, limit int, st *TaskStats, send func(string, []byte) error) *combineBuffer {
+	return &combineBuffer{fn: fn, limit: limit, st: st, send: send, buf: make(map[string][][]byte)}
+}
+
+func (c *combineBuffer) add(key string, value []byte) error {
+	c.buf[key] = append(c.buf[key], append([]byte(nil), value...))
+	c.n++
+	c.st.CombineInputs++
+	if c.n >= c.limit {
+		return c.flush()
+	}
+	return nil
+}
+
+func (c *combineBuffer) flush() error {
+	for key, values := range c.buf {
+		merged, err := c.fn(key, values)
+		if err != nil {
+			return fmt.Errorf("combine %q: %w", key, err)
+		}
+		for _, v := range merged {
+			if err := c.send(key, v); err != nil {
+				return err
+			}
+		}
+		delete(c.buf, key)
+	}
+	c.n = 0
+	return nil
+}
+
+// pairCodec serializes shuffle pairs for the reducer's external sort.
+type pairCodec struct{}
+
+func (pairCodec) Encode(p transport.Pair) ([]byte, error) {
+	buf := make([]byte, 0, len(p.Key)+len(p.Value)+4)
+	buf = appendUvarint(buf, uint64(len(p.Key)))
+	buf = append(buf, p.Key...)
+	buf = append(buf, p.Value...)
+	return buf, nil
+}
+
+func (pairCodec) Decode(b []byte) (transport.Pair, error) {
+	n, rest, err := readUvarint(b)
+	if err != nil || uint64(len(rest)) < n {
+		return transport.Pair{}, fmt.Errorf("mr: corrupt spilled pair")
+	}
+	return transport.Pair{
+		Key:   string(rest[:n]),
+		Value: append([]byte(nil), rest[n:]...),
+	}, nil
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	var v uint64
+	var shift uint
+	for i, c := range b {
+		if c < 0x80 {
+			return v | uint64(c)<<shift, b[i+1:], nil
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+		if shift > 63 {
+			break
+		}
+	}
+	return 0, nil, fmt.Errorf("mr: truncated varint")
+}
+
+// firstErr remembers the first error set, thread-safely.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstErr) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

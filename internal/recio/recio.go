@@ -1,0 +1,169 @@
+// Package recio defines the on-disk record format used throughout the
+// system: records are varint-framed byte strings packed into DFS blocks
+// such that no record straddles a block boundary, so every DFS block is an
+// independently readable input split for a mapper.
+//
+// Frame format: uvarint payload length, then the payload. A length of 0
+// terminates a block (the remainder is alignment padding); genuine records
+// are never empty because a cube record has at least one attribute.
+package recio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/casm-project/casm/internal/cube"
+)
+
+// AppendFrame appends a framed payload to buf and returns the extended
+// slice. Empty payloads are reserved for padding and rejected.
+func AppendFrame(buf, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return buf, fmt.Errorf("recio: empty payload is reserved for padding")
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
+	buf = append(buf, tmp[:n]...)
+	return append(buf, payload...), nil
+}
+
+// FrameReader iterates the frames of one block.
+type FrameReader struct {
+	data []byte
+	off  int
+}
+
+// NewFrameReader returns a reader over one block's bytes.
+func NewFrameReader(data []byte) *FrameReader { return &FrameReader{data: data} }
+
+// Next returns the next frame's payload (aliasing the block buffer), or
+// ok=false at end of block / padding.
+func (r *FrameReader) Next() ([]byte, bool, error) {
+	if r.off >= len(r.data) {
+		return nil, false, nil
+	}
+	n, k := binary.Uvarint(r.data[r.off:])
+	if k <= 0 {
+		return nil, false, fmt.Errorf("recio: corrupt frame header at offset %d", r.off)
+	}
+	if n == 0 {
+		// Padding terminator.
+		r.off = len(r.data)
+		return nil, false, nil
+	}
+	start := r.off + k
+	end := start + int(n)
+	if end > len(r.data) {
+		return nil, false, fmt.Errorf("recio: frame of %d bytes exceeds block at offset %d", n, r.off)
+	}
+	r.off = end
+	return r.data[start:end], true, nil
+}
+
+// AppendRecord appends a cube record's varint encoding to buf.
+func AppendRecord(buf []byte, rec cube.Record) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range rec {
+		n := binary.PutUvarint(tmp[:], uint64(v))
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+// DecodeRecord parses a record of the given arity from data.
+func DecodeRecord(data []byte, arity int) (cube.Record, error) {
+	rec := make(cube.Record, arity)
+	if err := DecodeRecordInto(data, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// DecodeRecordInto parses a record into the caller's buffer, avoiding
+// allocation on hot paths.
+func DecodeRecordInto(data []byte, rec cube.Record) error {
+	off := 0
+	for i := range rec {
+		v, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return fmt.Errorf("recio: truncated record at attribute %d", i)
+		}
+		rec[i] = int64(v)
+		off += k
+	}
+	if off != len(data) {
+		return fmt.Errorf("recio: %d trailing bytes in record", len(data)-off)
+	}
+	return nil
+}
+
+// PackAligned frames the records into a byte stream where no frame
+// straddles a blockSize boundary: when a record would not fit in the
+// current block, the block is padded (with a zero terminator and zero
+// fill) and the record starts the next block. The result's length is a
+// multiple of blockSize except possibly the final block.
+func PackAligned(records []cube.Record, blockSize int) ([]byte, error) {
+	if blockSize < 16 {
+		return nil, fmt.Errorf("recio: block size %d too small", blockSize)
+	}
+	var out []byte
+	blockStart := 0
+	var scratch []byte
+	for _, rec := range records {
+		scratch = AppendRecord(scratch[:0], rec)
+		frameLen := uvarintLen(uint64(len(scratch))) + len(scratch)
+		if frameLen+1 > blockSize { // +1 for the potential terminator
+			return nil, fmt.Errorf("recio: record of %d framed bytes exceeds block size %d", frameLen, blockSize)
+		}
+		if len(out)-blockStart+frameLen > blockSize {
+			// Pad to the boundary; a zero byte terminates, zeros fill.
+			pad := blockSize - (len(out) - blockStart)
+			out = append(out, make([]byte, pad)...)
+			blockStart = len(out)
+		}
+		var err error
+		out, err = AppendFrame(out, scratch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DecodeAll parses every record in a packed stream, given the block size
+// used by PackAligned and the record arity. Intended for tests and small
+// files; production paths iterate block by block.
+func DecodeAll(data []byte, blockSize, arity int) ([]cube.Record, error) {
+	var out []cube.Record
+	for start := 0; start < len(data); start += blockSize {
+		end := start + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		fr := NewFrameReader(data[start:end])
+		for {
+			payload, ok, err := fr.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			rec, err := DecodeRecord(payload, arity)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

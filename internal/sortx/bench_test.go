@@ -1,0 +1,55 @@
+package sortx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSort compares the in-memory and spilling paths.
+func BenchmarkSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	input := make([]int64, 200_000)
+	for i := range input {
+		input[i] = rng.Int63()
+	}
+	for _, c := range []struct {
+		name   string
+		budget int
+	}{
+		{"in_memory", 0},
+		{"spill_4_runs", len(input) / 4},
+		{"spill_32_runs", len(input) / 32},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				s := New(func(a, b int64) bool { return a < b }, int64Codec{}, dir, c.budget)
+				for _, v := range input {
+					if err := s.Add(v); err != nil {
+						b.Fatal(err)
+					}
+				}
+				it, err := s.Iterate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					_, ok, err := it.Next()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !ok {
+						break
+					}
+					n++
+				}
+				it.Close()
+				if n != len(input) {
+					b.Fatalf("lost items: %d", n)
+				}
+			}
+			b.ReportMetric(float64(len(input)*b.N)/b.Elapsed().Seconds(), "items/s")
+		})
+	}
+}

@@ -1,0 +1,276 @@
+// Package sortx provides an external merge sort: items are buffered in
+// memory up to a budget, spilled to sorted run files, and merged with a
+// k-way heap. The MapReduce reducers use it to group shuffled key/value
+// pairs ("reducers collect pairs and use external sorting to group pairs
+// with the same key value"), and its spill counters feed the cost model's
+// out-of-core sorting term.
+package sortx
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Codec serializes items for spill files.
+type Codec[T any] interface {
+	Encode(item T) ([]byte, error)
+	Decode(data []byte) (T, error)
+}
+
+// Stats reports what the sorter did, for cost accounting.
+type Stats struct {
+	Items        int64 // total items added
+	Runs         int   // spilled run files (0 when fully in-memory)
+	SpilledItems int64 // items written to disk
+	SpilledBytes int64 // bytes written to disk (read back once more on merge)
+}
+
+// Sorter accumulates items and then yields them in sorted order. It is
+// single-goroutine: Add all items, then Iterate once.
+type Sorter[T any] struct {
+	less      func(a, b T) bool
+	codec     Codec[T]
+	dir       string
+	memBudget int
+
+	buf   []T
+	runs  []*os.File
+	stats Stats
+	done  bool
+}
+
+// New returns a sorter ordering items by less, spilling to temp files in
+// dir (or the OS default when dir is empty) whenever more than memBudget
+// items are buffered. A memBudget < 1 keeps everything in memory.
+func New[T any](less func(a, b T) bool, codec Codec[T], dir string, memBudget int) *Sorter[T] {
+	return &Sorter[T]{less: less, codec: codec, dir: dir, memBudget: memBudget}
+}
+
+// Stats returns the sorter's counters.
+func (s *Sorter[T]) Stats() Stats { return s.stats }
+
+// Add offers one item. It may spill the in-memory buffer to a run file.
+func (s *Sorter[T]) Add(item T) error {
+	if s.done {
+		return fmt.Errorf("sortx: Add after Iterate")
+	}
+	s.buf = append(s.buf, item)
+	s.stats.Items++
+	if s.memBudget > 0 && len(s.buf) >= s.memBudget {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *Sorter[T]) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	f, err := os.CreateTemp(s.dir, "sortx-run-*.bin")
+	if err != nil {
+		return fmt.Errorf("sortx: create run: %w", err)
+	}
+	// The file is unlinked immediately so runs never outlive the process.
+	os.Remove(f.Name())
+	w := bufio.NewWriterSize(f, 1<<16)
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, it := range s.buf {
+		data, err := s.codec.Encode(it)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("sortx: encode: %w", err)
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(data)))
+		if _, err := w.Write(lenBuf[:n]); err != nil {
+			f.Close()
+			return fmt.Errorf("sortx: write run: %w", err)
+		}
+		if _, err := w.Write(data); err != nil {
+			f.Close()
+			return fmt.Errorf("sortx: write run: %w", err)
+		}
+		s.stats.SpilledBytes += int64(n + len(data))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("sortx: flush run: %w", err)
+	}
+	s.stats.Runs++
+	s.stats.SpilledItems += int64(len(s.buf))
+	s.buf = s.buf[:0]
+	s.runs = append(s.runs, f)
+	return nil
+}
+
+// Iterator yields sorted items. Close releases spill files; it is safe to
+// call multiple times.
+type Iterator[T any] struct {
+	next  func() (T, bool, error)
+	close func()
+}
+
+// Next returns the next item in order; ok is false at the end.
+func (it *Iterator[T]) Next() (item T, ok bool, err error) { return it.next() }
+
+// Close releases resources.
+func (it *Iterator[T]) Close() {
+	if it.close != nil {
+		it.close()
+		it.close = nil
+	}
+}
+
+// Iterate finalizes the sorter and returns an iterator over all items in
+// sorted order. The sorter cannot be reused afterwards.
+func (s *Sorter[T]) Iterate() (*Iterator[T], error) {
+	if s.done {
+		return nil, fmt.Errorf("sortx: Iterate called twice")
+	}
+	s.done = true
+	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	if len(s.runs) == 0 {
+		i := 0
+		buf := s.buf
+		return &Iterator[T]{
+			next: func() (T, bool, error) {
+				var zero T
+				if i >= len(buf) {
+					return zero, false, nil
+				}
+				v := buf[i]
+				i++
+				return v, true, nil
+			},
+			close: func() {},
+		}, nil
+	}
+	// Merge spilled runs plus the residual in-memory buffer.
+	var sources []*runReader[T]
+	for _, f := range s.runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			s.closeRuns()
+			return nil, fmt.Errorf("sortx: rewind run: %w", err)
+		}
+		sources = append(sources, &runReader[T]{r: bufio.NewReaderSize(f, 1<<16), codec: s.codec})
+	}
+	if len(s.buf) > 0 {
+		sources = append(sources, &runReader[T]{mem: s.buf, codec: s.codec})
+	}
+	h := &mergeHeap[T]{less: s.less}
+	for i, src := range sources {
+		item, ok, err := src.next()
+		if err != nil {
+			s.closeRuns()
+			return nil, err
+		}
+		if ok {
+			h.entries = append(h.entries, mergeEntry[T]{item: item, src: i})
+		}
+	}
+	heap.Init(h)
+	return &Iterator[T]{
+		next: func() (T, bool, error) {
+			var zero T
+			if h.Len() == 0 {
+				return zero, false, nil
+			}
+			top := h.entries[0]
+			item, ok, err := sources[top.src].next()
+			if err != nil {
+				return zero, false, err
+			}
+			if ok {
+				h.entries[0] = mergeEntry[T]{item: item, src: top.src}
+				heap.Fix(h, 0)
+			} else {
+				heap.Pop(h)
+			}
+			return top.item, true, nil
+		},
+		close: s.closeRuns,
+	}, nil
+}
+
+func (s *Sorter[T]) closeRuns() {
+	for _, f := range s.runs {
+		f.Close()
+	}
+	s.runs = nil
+}
+
+type runReader[T any] struct {
+	r     *bufio.Reader
+	mem   []T
+	codec Codec[T]
+	buf   []byte
+}
+
+func (rr *runReader[T]) next() (T, bool, error) {
+	var zero T
+	if rr.r == nil {
+		if len(rr.mem) == 0 {
+			return zero, false, nil
+		}
+		v := rr.mem[0]
+		rr.mem = rr.mem[1:]
+		return v, true, nil
+	}
+	n, err := binary.ReadUvarint(rr.r)
+	if err == io.EOF {
+		return zero, false, nil
+	}
+	if err != nil {
+		return zero, false, fmt.Errorf("sortx: read run: %w", err)
+	}
+	if cap(rr.buf) < int(n) {
+		rr.buf = make([]byte, n)
+	}
+	rr.buf = rr.buf[:n]
+	if _, err := io.ReadFull(rr.r, rr.buf); err != nil {
+		return zero, false, fmt.Errorf("sortx: read run payload: %w", err)
+	}
+	item, err := rr.codec.Decode(rr.buf)
+	if err != nil {
+		return zero, false, fmt.Errorf("sortx: decode: %w", err)
+	}
+	return item, true, nil
+}
+
+type mergeEntry[T any] struct {
+	item T
+	src  int
+}
+
+type mergeHeap[T any] struct {
+	entries []mergeEntry[T]
+	less    func(a, b T) bool
+}
+
+func (h *mergeHeap[T]) Len() int { return len(h.entries) }
+func (h *mergeHeap[T]) Less(i, j int) bool {
+	return h.less(h.entries[i].item, h.entries[j].item)
+}
+func (h *mergeHeap[T]) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap[T]) Push(x any)    { h.entries = append(h.entries, x.(mergeEntry[T])) }
+func (h *mergeHeap[T]) Pop() any {
+	n := len(h.entries)
+	e := h.entries[n-1]
+	h.entries = h.entries[:n-1]
+	return e
+}
+
+// BytesCodec is a pass-through codec for []byte items.
+type BytesCodec struct{}
+
+// Encode implements Codec.
+func (BytesCodec) Encode(b []byte) ([]byte, error) { return b, nil }
+
+// Decode implements Codec. The returned slice is copied because the
+// iterator reuses its read buffer.
+func (BytesCodec) Decode(b []byte) ([]byte, error) { return append([]byte(nil), b...), nil }

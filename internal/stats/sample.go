@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Reservoir maintains a fixed-size uniform random sample of a stream using
+// Vitter's algorithm R. The skew detector (paper Section V) uses it on each
+// mapper to sample the records it acquires before the simulated dispatch.
+type Reservoir[T any] struct {
+	items []T
+	cap   int
+	seen  int64
+	rng   *rand.Rand
+}
+
+// NewReservoir returns a reservoir sampler holding at most capacity items,
+// driven by the given seed (deterministic across runs).
+func NewReservoir[T any](capacity int, seed int64) *Reservoir[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir[T]{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one stream element to the reservoir.
+func (r *Reservoir[T]) Add(item T) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, item)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.items[j] = item
+	}
+}
+
+// Sample returns the current sample. The slice aliases the reservoir's
+// internal storage and must not be mutated while sampling continues.
+func (r *Reservoir[T]) Sample() []T { return r.items }
+
+// Seen reports how many elements have been offered so far.
+func (r *Reservoir[T]) Seen() int64 { return r.seen }
+
+// Summary holds basic descriptive statistics of a numeric series, used in
+// bench reports and skew diagnostics.
+type Summary struct {
+	Count  int
+	Min    float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of xs. An empty series yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if s.Count == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.Count)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(s.Count))
+	return s
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// nearest-rank on a sorted copy. It returns 0 for an empty series.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(cp))))
+	if rank < 1 {
+		rank = 1
+	}
+	return cp[rank-1]
+}
+
+// SkewRatio quantifies load imbalance as max/mean of the per-bucket loads;
+// 1.0 means perfectly balanced. The skew detector flags a plan when the
+// estimated ratio exceeds a threshold.
+func SkewRatio(loads []float64) float64 {
+	s := Summarize(loads)
+	if s.Mean == 0 {
+		return 1
+	}
+	return s.Max / s.Mean
+}
+
+// MonteCarloMaxBinCount estimates E[max bin count] for n balls in m bins by
+// simulation with the given number of trials. Tests use it to validate
+// ExpectedMaxBinCount; the optimizer never calls it.
+func MonteCarloMaxBinCount(n, m, trials int, seed int64) float64 {
+	if n <= 0 || m <= 0 || trials <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int, m)
+	var total float64
+	for t := 0; t < trials; t++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			counts[rng.Intn(m)]++
+		}
+		mx := 0
+		for _, c := range counts {
+			if c > mx {
+				mx = c
+			}
+		}
+		total += float64(mx)
+	}
+	return total / float64(trials)
+}

@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// tcpTransport shuffles pairs over real loopback TCP connections with gob
+// framing. Each reducer owns one listener; the transport dials one
+// connection per reducer up front (all mapper goroutines in this process
+// share it), so a job uses numReducers connections.
+type tcpTransport struct {
+	recv   []chan Pair
+	conns  []*tcpConn
+	lns    []net.Listener
+	bytes  atomic.Int64
+	closed atomic.Bool
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  *gob.Encoder
+}
+
+// NewTCP returns a transport shuffling over loopback TCP. buffer sizes the
+// per-reducer receive channel (< 1 defaults to 1024).
+func NewTCP(numReducers, buffer int) (Transport, error) {
+	if numReducers < 1 {
+		return nil, fmt.Errorf("transport: reducer count %d < 1", numReducers)
+	}
+	if buffer < 1 {
+		buffer = 1024
+	}
+	t := &tcpTransport{
+		recv:  make([]chan Pair, numReducers),
+		conns: make([]*tcpConn, numReducers),
+		lns:   make([]net.Listener, numReducers),
+	}
+	for r := 0; r < numReducers; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		t.lns[r] = ln
+		t.recv[r] = make(chan Pair, buffer)
+	}
+	// Accept one inbound connection per reducer and decode pairs from it
+	// until EOF, then close the reducer's receive channel.
+	var errMu sync.Mutex
+	var acceptErr error
+	var wg sync.WaitGroup
+	for r := 0; r < numReducers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := t.lns[r].Accept()
+			if err != nil {
+				errMu.Lock()
+				acceptErr = err
+				errMu.Unlock()
+				close(t.recv[r])
+				return
+			}
+			go func() {
+				defer close(t.recv[r])
+				defer conn.Close()
+				dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+				for {
+					var p Pair
+					if err := dec.Decode(&p); err != nil {
+						if err != io.EOF {
+							// A decode error mid-stream means the sender
+							// died; the reducer sees a short channel, and
+							// the job driver detects the loss by counters.
+							_ = err
+						}
+						return
+					}
+					t.recv[r] <- p
+				}
+			}()
+		}()
+	}
+	// Dial every reducer so the accepts above complete before New returns.
+	for r := 0; r < numReducers; r++ {
+		conn, err := net.Dial("tcp", t.lns[r].Addr().String())
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: dial reducer %d: %w", r, err)
+		}
+		bw := bufio.NewWriterSize(conn, 1<<16)
+		t.conns[r] = &tcpConn{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+	}
+	wg.Wait()
+	if acceptErr != nil {
+		t.Close()
+		return nil, fmt.Errorf("transport: accept: %w", acceptErr)
+	}
+	return t, nil
+}
+
+// TCPFactory returns a Factory producing loopback TCP transports.
+func TCPFactory(buffer int) Factory {
+	return func(n int) (Transport, error) { return NewTCP(n, buffer) }
+}
+
+func (t *tcpTransport) Send(r int, p Pair) error {
+	if t.closed.Load() {
+		return fmt.Errorf("transport: send after CloseSend")
+	}
+	if r < 0 || r >= len(t.conns) {
+		return fmt.Errorf("transport: reducer %d out of range [0,%d)", r, len(t.conns))
+	}
+	c := t.conns[r]
+	c.mu.Lock()
+	err := c.enc.Encode(p)
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: send to reducer %d: %w", r, err)
+	}
+	t.bytes.Add(p.Size())
+	return nil
+}
+
+func (t *tcpTransport) CloseSend() error {
+	if t.closed.Swap(true) {
+		return fmt.Errorf("transport: CloseSend called twice")
+	}
+	var first error
+	for _, c := range t.conns {
+		c.mu.Lock()
+		if err := c.bw.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := c.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.mu.Unlock()
+	}
+	return first
+}
+
+func (t *tcpTransport) Receive(r int) <-chan Pair { return t.recv[r] }
+func (t *tcpTransport) BytesSent() int64          { return t.bytes.Load() }
+
+func (t *tcpTransport) Close() error {
+	for _, ln := range t.lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	if !t.closed.Load() {
+		for _, c := range t.conns {
+			if c != nil {
+				c.conn.Close()
+			}
+		}
+	}
+	return nil
+}

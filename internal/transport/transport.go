@@ -1,0 +1,100 @@
+// Package transport moves shuffled key/value pairs from mappers to
+// reducers. Two implementations are provided: an in-memory channel
+// transport (the default for tests and benchmarks) and a real TCP
+// transport using encoding/gob framing, which exercises the same code
+// paths a multi-node deployment would ("the result pairs are shuffled and
+// dispatched to reducers").
+//
+// A Transport instance serves one job execution: mappers call Send
+// concurrently, then the driver calls CloseSend exactly once; each reducer
+// drains its Receive channel until it is closed.
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Pair is one shuffled key/value pair. Key is the distribution block key;
+// Value is an opaque payload (a serialized record or partial aggregate).
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// Size returns the pair's payload size in bytes, the unit of the cost
+// model's transfer term.
+func (p Pair) Size() int64 { return int64(len(p.Key) + len(p.Value)) }
+
+// Transport delivers pairs to numbered reducers.
+type Transport interface {
+	// Send delivers a pair to reducer r. Safe for concurrent use by many
+	// mapper goroutines. It fails after CloseSend.
+	Send(r int, p Pair) error
+	// CloseSend signals that no more pairs will be sent. Receive channels
+	// close once their in-flight pairs are drained.
+	CloseSend() error
+	// Receive returns reducer r's input channel.
+	Receive(r int) <-chan Pair
+	// BytesSent reports the total payload bytes sent so far.
+	BytesSent() int64
+	// Close releases resources. Call after all receivers are drained.
+	Close() error
+}
+
+// Factory creates a transport for a job with the given reducer count.
+type Factory func(numReducers int) (Transport, error)
+
+// channelTransport is the in-memory implementation.
+type channelTransport struct {
+	chans  []chan Pair
+	bytes  atomic.Int64
+	closed atomic.Bool
+}
+
+// NewChannel returns an in-memory transport with the given per-reducer
+// buffer (a buffer < 1 defaults to 1024).
+func NewChannel(numReducers, buffer int) (Transport, error) {
+	if numReducers < 1 {
+		return nil, fmt.Errorf("transport: reducer count %d < 1", numReducers)
+	}
+	if buffer < 1 {
+		buffer = 1024
+	}
+	t := &channelTransport{chans: make([]chan Pair, numReducers)}
+	for i := range t.chans {
+		t.chans[i] = make(chan Pair, buffer)
+	}
+	return t, nil
+}
+
+// ChannelFactory returns a Factory producing in-memory transports.
+func ChannelFactory(buffer int) Factory {
+	return func(n int) (Transport, error) { return NewChannel(n, buffer) }
+}
+
+func (t *channelTransport) Send(r int, p Pair) error {
+	if t.closed.Load() {
+		return fmt.Errorf("transport: send after CloseSend")
+	}
+	if r < 0 || r >= len(t.chans) {
+		return fmt.Errorf("transport: reducer %d out of range [0,%d)", r, len(t.chans))
+	}
+	t.bytes.Add(p.Size())
+	t.chans[r] <- p
+	return nil
+}
+
+func (t *channelTransport) CloseSend() error {
+	if t.closed.Swap(true) {
+		return fmt.Errorf("transport: CloseSend called twice")
+	}
+	for _, c := range t.chans {
+		close(c)
+	}
+	return nil
+}
+
+func (t *channelTransport) Receive(r int) <-chan Pair { return t.chans[r] }
+func (t *channelTransport) BytesSent() int64          { return t.bytes.Load() }
+func (t *channelTransport) Close() error              { return nil }

@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exercise sends pairs from several concurrent "mappers" and verifies each
+// reducer receives exactly the pairs addressed to it.
+func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper int) {
+	t.Helper()
+	tr, err := factory(reducers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	type addressed struct {
+		r int
+		p Pair
+	}
+	var mu sync.Mutex
+	sent := make(map[int][]string) // reducer -> sorted payload strings
+
+	var recvWG sync.WaitGroup
+	received := make([][]string, reducers)
+	for r := 0; r < reducers; r++ {
+		r := r
+		recvWG.Add(1)
+		go func() {
+			defer recvWG.Done()
+			for p := range tr.Receive(r) {
+				received[r] = append(received[r], p.Key+"="+string(p.Value))
+			}
+		}()
+	}
+
+	var sendWG sync.WaitGroup
+	for m := 0; m < mappers; m++ {
+		m := m
+		sendWG.Add(1)
+		go func() {
+			defer sendWG.Done()
+			rng := rand.New(rand.NewSource(int64(m)))
+			for i := 0; i < pairsPerMapper; i++ {
+				a := addressed{
+					r: rng.Intn(reducers),
+					p: Pair{Key: fmt.Sprintf("k%d", rng.Intn(10)), Value: []byte(fmt.Sprintf("m%d-i%d", m, i))},
+				}
+				if err := tr.Send(a.r, a.p); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				mu.Lock()
+				sent[a.r] = append(sent[a.r], a.p.Key+"="+string(a.p.Value))
+				mu.Unlock()
+			}
+		}()
+	}
+	sendWG.Wait()
+	if err := tr.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	recvWG.Wait()
+
+	total := int64(0)
+	for r := 0; r < reducers; r++ {
+		got := append([]string(nil), received[r]...)
+		want := append([]string(nil), sent[r]...)
+		sort.Strings(got)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("reducer %d: got %d pairs, want %d", r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("reducer %d: pair %d = %q, want %q", r, i, got[i], want[i])
+			}
+		}
+		total += int64(len(got))
+	}
+	if total != int64(mappers*pairsPerMapper) {
+		t.Fatalf("total pairs %d, want %d", total, mappers*pairsPerMapper)
+	}
+	if tr.BytesSent() <= 0 {
+		t.Error("BytesSent not accounted")
+	}
+}
+
+func TestChannelTransport(t *testing.T) {
+	exercise(t, ChannelFactory(16), 4, 8, 500)
+}
+
+func TestTCPTransport(t *testing.T) {
+	exercise(t, TCPFactory(16), 4, 8, 500)
+}
+
+func TestTCPSingleReducer(t *testing.T) {
+	exercise(t, TCPFactory(0), 1, 2, 100)
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	for name, f := range map[string]Factory{"channel": ChannelFactory(4), "tcp": TCPFactory(4)} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := f(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			go func() {
+				for range tr.Receive(0) {
+				}
+			}()
+			go func() {
+				for range tr.Receive(1) {
+				}
+			}()
+			if err := tr.Send(0, Pair{Key: "a", Value: []byte("b")}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.CloseSend(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Send(0, Pair{Key: "a"}); err == nil {
+				t.Error("send after CloseSend succeeded")
+			}
+			if err := tr.CloseSend(); err == nil {
+				t.Error("double CloseSend succeeded")
+			}
+		})
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	tr, err := NewChannel(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(-1, Pair{}); err == nil {
+		t.Error("negative reducer accepted")
+	}
+	if err := tr.Send(2, Pair{}); err == nil {
+		t.Error("out-of-range reducer accepted")
+	}
+	if _, err := NewChannel(0, 4); err == nil {
+		t.Error("zero reducers accepted")
+	}
+	if _, err := NewTCP(0, 4); err == nil {
+		t.Error("zero reducers accepted (tcp)")
+	}
+}
+
+func TestPairSize(t *testing.T) {
+	p := Pair{Key: "abc", Value: []byte("defg")}
+	if p.Size() != 7 {
+		t.Errorf("size = %d", p.Size())
+	}
+}
+
+func TestChannelBytesSentExact(t *testing.T) {
+	tr, _ := NewChannel(1, 8)
+	go func() {
+		for range tr.Receive(0) {
+		}
+	}()
+	tr.Send(0, Pair{Key: "ab", Value: []byte("cd")})
+	tr.Send(0, Pair{Key: "x", Value: nil})
+	if got := tr.BytesSent(); got != 5 {
+		t.Errorf("BytesSent = %d, want 5", got)
+	}
+	tr.CloseSend()
+}
+
+func TestTCPCloseBeforeCloseSend(t *testing.T) {
+	// Closing a transport that never shipped anything must release the
+	// listeners and connections without hanging.
+	tr, err := NewTCP(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPConcurrentSendersInterleave(t *testing.T) {
+	// Many goroutines writing to the same reducer share one gob stream;
+	// frames must never corrupt each other.
+	tr, err := NewTCP(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var recvWG sync.WaitGroup
+	seen := map[string]int{}
+	recvWG.Add(1)
+	go func() {
+		defer recvWG.Done()
+		for p := range tr.Receive(0) {
+			seen[string(p.Value)]++
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("sender-%d", g))
+			for i := 0; i < 200; i++ {
+				if err := tr.Send(0, Pair{Key: "k", Value: payload}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tr.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	recvWG.Wait()
+	if len(seen) != 16 {
+		t.Fatalf("distinct payloads = %d", len(seen))
+	}
+	for k, n := range seen {
+		if n != 200 {
+			t.Errorf("%s delivered %d times", k, n)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package workload reproduces the paper's experimental setup (Section
+// VI): the synthetic schema — four integer attributes drawn from [0, 255]
+// with a four-level domain hierarchy plus two temporal attributes whose
+// hierarchy is second < minute < hour < day over a twenty-day period —
+// the uniform and temporally skewed data distributions, and the query
+// suite Q1–Q6 and DS0–DS2.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/measure"
+	"github.com/casm-project/casm/internal/recio"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// Days is the temporal span of the paper's datasets.
+const Days = 20
+
+// SkewDays is the span actually populated by the skewed distribution
+// ("the values of the temporal attributes are picked from the first five
+// days of the twenty-day range").
+const SkewDays = 5
+
+// Suite bundles the paper's schema with its query constructors.
+type Suite struct {
+	Schema *cube.Schema
+}
+
+// NewSuite builds the Section VI schema.
+func NewSuite() *Suite {
+	intAttr := func(name string) *cube.Attribute {
+		return cube.MustAttribute(name, cube.Numeric, 256,
+			cube.Level{Name: "value", Span: 1},
+			cube.Level{Name: "low", Span: 4},
+			cube.Level{Name: "mid", Span: 4},
+			cube.Level{Name: "high", Span: 4},
+		)
+	}
+	return &Suite{Schema: cube.MustSchema(
+		intAttr("a1"), intAttr("a2"), intAttr("a3"), intAttr("a4"),
+		cube.TimeAttribute("t1", Days),
+		cube.TimeAttribute("t2", Days),
+	)}
+}
+
+// Distribution selects a data distribution.
+type Distribution int
+
+const (
+	// Uniform draws every attribute uniformly over its domain.
+	Uniform Distribution = iota
+	// SkewedTime draws the temporal attributes from the first five days
+	// only; integer attributes stay uniform.
+	SkewedTime
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	if d == SkewedTime {
+		return "skewed"
+	}
+	return "uniform"
+}
+
+// Generate produces n records under the distribution, deterministically
+// per seed.
+func (s *Suite) Generate(n int, dist Distribution, seed int64) []cube.Record {
+	rng := rand.New(rand.NewSource(seed))
+	tSpan := int64(Days * 86400)
+	if dist == SkewedTime {
+		tSpan = SkewDays * 86400
+	}
+	out := make([]cube.Record, n)
+	for i := range out {
+		out[i] = cube.Record{
+			rng.Int63n(256), rng.Int63n(256), rng.Int63n(256), rng.Int63n(256),
+			rng.Int63n(tSpan), rng.Int63n(tSpan),
+		}
+	}
+	return out
+}
+
+// WriteDFS packs records into aligned blocks and stores them as a DFS
+// file ready to serve as MapReduce input.
+func WriteDFS(fs *dfs.FS, name string, records []cube.Record, blockSize int) error {
+	data, err := recio.PackAligned(records, blockSize)
+	if err != nil {
+		return err
+	}
+	return fs.Write(name, data)
+}
+
+func (s *Suite) grain(specs ...cube.GrainSpec) cube.Grain { return s.Schema.MustGrain(specs...) }
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Query returns the n-th evaluation query (1–6).
+func (s *Suite) Query(n int) (*workflow.Workflow, error) {
+	switch n {
+	case 1:
+		return s.Q1(), nil
+	case 2:
+		return s.Q2(), nil
+	case 3:
+		return s.Q3(), nil
+	case 4:
+		return s.Q4(), nil
+	case 5:
+		return s.Q5(), nil
+	case 6:
+		return s.Q6(), nil
+	default:
+		return nil, fmt.Errorf("workload: no query Q%d", n)
+	}
+}
+
+// Q1: three independent measures defined over different region sets with
+// fine granularities. The region sets share a fine a1/t1 core so that the
+// least common ancestor — the distribution key — is itself fine and the
+// query parallelizes well (Theorem 2).
+func (s *Suite) Q1() *workflow.Workflow {
+	w := workflow.New(s.Schema)
+	must(w.AddBasic("q1a", s.grain(cube.GrainSpec{Attr: "a1", Level: "value"}, cube.GrainSpec{Attr: "t1", Level: "minute"}),
+		measure.Spec{Func: measure.Sum}, "a2"))
+	must(w.AddBasic("q1b", s.grain(cube.GrainSpec{Attr: "a1", Level: "value"}, cube.GrainSpec{Attr: "a2", Level: "low"}, cube.GrainSpec{Attr: "t1", Level: "minute"}),
+		measure.Spec{Func: measure.Count}, ""))
+	must(w.AddBasic("q1c", s.grain(cube.GrainSpec{Attr: "a1", Level: "value"}, cube.GrainSpec{Attr: "t1", Level: "hour"}),
+		measure.Spec{Func: measure.Avg}, "a4"))
+	return w
+}
+
+// Q2: two measures where the parent regions' measures are generated from
+// those of the children regions.
+func (s *Suite) Q2() *workflow.Workflow {
+	w := workflow.New(s.Schema)
+	must(w.AddBasic("q2base", s.grain(cube.GrainSpec{Attr: "a1", Level: "value"}, cube.GrainSpec{Attr: "t1", Level: "hour"}),
+		measure.Spec{Func: measure.Sum}, "a2"))
+	must(w.AddRollup("q2roll", s.grain(cube.GrainSpec{Attr: "a1", Level: "low"}, cube.GrainSpec{Attr: "t1", Level: "day"}),
+		measure.Spec{Func: measure.Avg}, "q2base"))
+	return w
+}
+
+// Q3: five measures; the parent region set's measures aggregate two
+// different measures, both computed by aggregating their children.
+func (s *Suite) Q3() *workflow.Workflow {
+	w := workflow.New(s.Schema)
+	fine := s.grain(cube.GrainSpec{Attr: "a1", Level: "low"}, cube.GrainSpec{Attr: "t1", Level: "hour"})
+	coarse := s.grain(cube.GrainSpec{Attr: "a1", Level: "mid"}, cube.GrainSpec{Attr: "t1", Level: "day"})
+	must(w.AddBasic("q3b1", fine, measure.Spec{Func: measure.Sum}, "a2"))
+	must(w.AddBasic("q3b2", fine, measure.Spec{Func: measure.Count}, ""))
+	must(w.AddRollup("q3c1", coarse, measure.Spec{Func: measure.Sum}, "q3b1"))
+	must(w.AddRollup("q3c2", coarse, measure.Spec{Func: measure.Sum}, "q3b2"))
+	must(w.AddSelf("q3top", coarse, measure.Add(), "q3c1", "q3c2"))
+	return w
+}
+
+// Q4: a measure computed by combining the measure for the same region and
+// children regions.
+func (s *Suite) Q4() *workflow.Workflow {
+	w := workflow.New(s.Schema)
+	fine := s.grain(cube.GrainSpec{Attr: "a1", Level: "low"}, cube.GrainSpec{Attr: "t1", Level: "hour"})
+	coarse := s.grain(cube.GrainSpec{Attr: "a1", Level: "mid"}, cube.GrainSpec{Attr: "t1", Level: "day"})
+	must(w.AddBasic("q4fine", fine, measure.Spec{Func: measure.Sum}, "a2"))
+	must(w.AddBasic("q4same", coarse, measure.Spec{Func: measure.Count}, ""))
+	must(w.AddRollup("q4roll", coarse, measure.Spec{Func: measure.Max}, "q4fine"))
+	must(w.AddSelf("q4top", coarse, measure.Ratio(), "q4roll", "q4same"))
+	return w
+}
+
+// Q5: sibling relations — the composite measure for each hour summarizes
+// the measures of the previous hours.
+func (s *Suite) Q5() *workflow.Workflow {
+	w := workflow.New(s.Schema)
+	g := s.grain(cube.GrainSpec{Attr: "a1", Level: "high"}, cube.GrainSpec{Attr: "t1", Level: "hour"})
+	t1, _ := s.Schema.AttrIndex("t1")
+	must(w.AddBasic("q5base", g, measure.Spec{Func: measure.Sum}, "a2"))
+	must(w.AddSliding("q5win", g, measure.Spec{Func: measure.Sum}, "q5base",
+		workflow.RangeAnn{Attr: t1, Low: -5, High: 0}))
+	return w
+}
+
+// Q6: a mixture of all four relationships with a sliding time window
+// aggregation as the top measure; the window is large and at a coarse
+// granularity, which limits the clustering factor and increases overlap.
+func (s *Suite) Q6() *workflow.Workflow {
+	w := workflow.New(s.Schema)
+	// a2:high has only four values, so the non-overlapping fallback key
+	// (time rolled to ALL) leaves almost no parallelism and the optimizer
+	// must pick the overlapping day-level key.
+	hourG := s.grain(cube.GrainSpec{Attr: "a2", Level: "high"}, cube.GrainSpec{Attr: "t1", Level: "hour"})
+	dayG := s.grain(cube.GrainSpec{Attr: "a2", Level: "high"}, cube.GrainSpec{Attr: "t1", Level: "day"})
+	t1, _ := s.Schema.AttrIndex("t1")
+	must(w.AddBasic("q6m1", hourG, measure.Spec{Func: measure.Median}, "a1"))
+	must(w.AddBasic("q6m2", dayG, measure.Spec{Func: measure.Avg}, "a2"))
+	must(w.AddSelf("q6m3", hourG, measure.Ratio(), "q6m1", "q6m2"))
+	must(w.AddRollup("q6m4", dayG, measure.Spec{Func: measure.Sum}, "q6m3"))
+	must(w.AddInherit("q6m5", hourG, "q6m4"))
+	// A week-long window over the 20-day domain: the coarse day
+	// granularity leaves few sibling coordinates, so the clustering
+	// factor stays small and the overlap ratio (d+cf)/cf large.
+	must(w.AddSliding("q6top", dayG, measure.Spec{Func: measure.Avg}, "q6m4",
+		workflow.RangeAnn{Attr: t1, Low: -6, High: 0}))
+	return w
+}
+
+// DS returns the early-aggregation study's queries: DS0 groups at a very
+// coarse granularity, DS1 intermediate, DS2 fine (Section VI, Figure
+// 4(e)). Each consists of one basic measure and composite measures on
+// top, with all basic aggregates algebraic or distributive so the
+// combiner applies.
+func (s *Suite) DS(i int) (*workflow.Workflow, error) {
+	w := workflow.New(s.Schema)
+	var base cube.Grain
+	var roll cube.Grain
+	switch i {
+	case 0: // coarse: 4 x 20 groups
+		base = s.grain(cube.GrainSpec{Attr: "a1", Level: "high"}, cube.GrainSpec{Attr: "t1", Level: "day"})
+		roll = s.grain(cube.GrainSpec{Attr: "t1", Level: "day"})
+	case 1: // intermediate: 16 x 480 groups
+		base = s.grain(cube.GrainSpec{Attr: "a1", Level: "mid"}, cube.GrainSpec{Attr: "t1", Level: "hour"})
+		roll = s.grain(cube.GrainSpec{Attr: "t1", Level: "hour"})
+	case 2: // fine: 256 x 256 x 28800 potential groups — no size reduction
+		base = s.grain(cube.GrainSpec{Attr: "a1", Level: "value"},
+			cube.GrainSpec{Attr: "a2", Level: "value"}, cube.GrainSpec{Attr: "t1", Level: "minute"})
+		roll = s.grain(cube.GrainSpec{Attr: "a1", Level: "value"}, cube.GrainSpec{Attr: "t1", Level: "minute"})
+	default:
+		return nil, fmt.Errorf("workload: no query DS%d", i)
+	}
+	name := fmt.Sprintf("ds%d", i)
+	must(w.AddBasic(name+"base", base, measure.Spec{Func: measure.Sum}, "a3"))
+	must(w.AddRollup(name+"roll", roll, measure.Spec{Func: measure.Avg}, name+"base"))
+	must(w.AddSelf(name+"norm", base, measure.Ratio(), name+"base", name+"roll"))
+	return w, nil
+}

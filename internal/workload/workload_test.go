@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/distkey"
+	"github.com/casm-project/casm/internal/recio"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := NewSuite().Schema
+	if s.NumAttrs() != 6 {
+		t.Fatalf("attrs = %d", s.NumAttrs())
+	}
+	a1, _ := s.AttrIndex("a1")
+	if got := s.Attr(a1).Card(); got != 256 {
+		t.Errorf("a1 card = %d", got)
+	}
+	if got := s.Attr(a1).NumLevels(); got != 5 { // value,low,mid,high,ALL
+		t.Errorf("a1 levels = %d", got)
+	}
+	hi, _ := s.Attr(a1).LevelIndex("high")
+	if got := s.Attr(a1).CardAt(hi); got != 4 {
+		t.Errorf("a1 high card = %d", got)
+	}
+	t1, _ := s.AttrIndex("t1")
+	if got := s.Attr(t1).Card(); got != 20*86400 {
+		t.Errorf("t1 card = %d", got)
+	}
+}
+
+func TestGenerateDistributions(t *testing.T) {
+	su := NewSuite()
+	uni := su.Generate(5000, Uniform, 1)
+	skew := su.Generate(5000, SkewedTime, 1)
+	if len(uni) != 5000 || len(skew) != 5000 {
+		t.Fatal("wrong sizes")
+	}
+	for _, r := range append(uni, skew...) {
+		if err := su.Schema.Validate(r); err != nil {
+			t.Fatalf("invalid record: %v", err)
+		}
+	}
+	t1, _ := su.Schema.AttrIndex("t1")
+	lateUni, lateSkew := 0, 0
+	for i := range uni {
+		if uni[i][t1] >= SkewDays*86400 {
+			lateUni++
+		}
+		if skew[i][t1] >= SkewDays*86400 {
+			lateSkew++
+		}
+	}
+	if lateSkew != 0 {
+		t.Errorf("skewed data has %d records after day %d", lateSkew, SkewDays)
+	}
+	if lateUni < 3000 { // expect ~75%
+		t.Errorf("uniform data suspiciously early: %d/5000 late", lateUni)
+	}
+	// Determinism.
+	again := su.Generate(5000, Uniform, 1)
+	for i := range uni {
+		for j := range uni[i] {
+			if uni[i][j] != again[i][j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestAllQueriesValidate(t *testing.T) {
+	su := NewSuite()
+	for n := 1; n <= 6; n++ {
+		w, err := su.Query(n)
+		if err != nil {
+			t.Fatalf("Q%d: %v", n, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("Q%d invalid: %v", n, err)
+		}
+		if _, _, err := distkey.Derive(w); err != nil {
+			t.Errorf("Q%d key derivation: %v", n, err)
+		}
+	}
+	if _, err := su.Query(7); err == nil {
+		t.Error("Q7 accepted")
+	}
+	for i := 0; i <= 2; i++ {
+		w, err := su.DS(i)
+		if err != nil {
+			t.Fatalf("DS%d: %v", i, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("DS%d invalid: %v", i, err)
+		}
+	}
+	if _, err := su.DS(3); err == nil {
+		t.Error("DS3 accepted")
+	}
+}
+
+func TestQueryShapes(t *testing.T) {
+	su := NewSuite()
+	if su.Q1().HasSibling() || su.Q2().HasSibling() || su.Q3().HasSibling() || su.Q4().HasSibling() {
+		t.Error("Q1-Q4 must not contain sibling relations")
+	}
+	if !su.Q5().HasSibling() || !su.Q6().HasSibling() {
+		t.Error("Q5/Q6 must contain sibling relations")
+	}
+	if got := len(su.Q3().Measures()); got != 5 {
+		t.Errorf("Q3 has %d measures, want 5", got)
+	}
+	// Q6 exercises all four composite relationships.
+	kinds := map[workflow.Kind]bool{}
+	for _, m := range su.Q6().Measures() {
+		kinds[m.Kind] = true
+	}
+	for _, k := range []workflow.Kind{workflow.Basic, workflow.Self, workflow.Rollup, workflow.Inherit, workflow.Sliding} {
+		if !kinds[k] {
+			t.Errorf("Q6 missing relationship %v", k)
+		}
+	}
+	// Q5/Q6 minimal keys must be overlapping.
+	for _, q := range []int{5, 6} {
+		w, _ := su.Query(q)
+		key, _, err := distkey.Derive(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !key.IsOverlapping() {
+			t.Errorf("Q%d minimal key not overlapping: %s", q, key.Format(su.Schema))
+		}
+	}
+}
+
+func TestWriteDFSRoundTrip(t *testing.T) {
+	su := NewSuite()
+	records := su.Generate(2000, Uniform, 3)
+	fs, err := dfs.New(dfs.Config{BlockSize: 4096, Replication: 2, NumNodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDFS(fs, "data", records, 4096); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.Read("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := recio.DecodeAll(data, 4096, su.Schema.NumAttrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("got %d records back, want %d", len(back), len(records))
+	}
+}
