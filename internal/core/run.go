@@ -211,9 +211,11 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		return emitErr
 	}
 
-	var combineFn mr.CombineFunc
+	var combinerFactory mr.CombinerFactory
 	if early {
-		combineFn = makeCombiner(s, basics)
+		combinerFactory = func(st *mr.TaskStats) mr.Combiner {
+			return newEarlyAggCombiner(s, basics, st)
+		}
 	}
 
 	reduceFn := func(ctx *mr.ReduceCtx, blockKey string, values *mr.GroupIter) error {
@@ -282,7 +284,7 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 			MapParallelism:    e.cfg.MapParallelism,
 			ReduceParallelism: e.cfg.ReduceParallelism,
 			Transport:         e.cfg.Transport,
-			Combine:           combineFn,
+			NewCombiner:       combinerFactory,
 			ShuffleDisabled:   e.cfg.Stage == StageMapOnly,
 			SortMemoryItems:   e.cfg.SortMemoryItems,
 			TempDir:           e.cfg.TempDir,
@@ -406,59 +408,116 @@ func blockPrefix(key string, arity int) string {
 // partialTag prefixes early-aggregation payloads.
 const partialTag = 1
 
-// makeCombiner returns the early-aggregation combine function: raw
-// records buffered for one block are partially aggregated per basic
-// measure and region, and shipped as tagged partial states.
-func makeCombiner(s *cube.Schema, basics []*workflow.Measure) mr.CombineFunc {
+// earlyAggCombiner is the streaming early-aggregation combiner: each raw
+// record emitted for a block is decoded once and folded straight into the
+// per-(basic measure, region) aggregator state — no buffered value
+// copies, no re-decoding at flush time. It implements mr.Combiner.
+type earlyAggCombiner struct {
+	s      *cube.Schema
+	basics []*workflow.Measure
+	arity  int
+	st     *mr.TaskStats
+
+	blocks map[string]*blockPartials
+	groups int // total aggregator groups across blocks (= Len)
+
+	// Reused per-Add decode buffers.
+	rec   cube.Record
+	coord []int64
+}
+
+type blockPartials struct {
+	perBasic []map[string]*partialGroup
+}
+
+type partialGroup struct {
+	coords []int64
+	agg    measure.Aggregator
+}
+
+func newEarlyAggCombiner(s *cube.Schema, basics []*workflow.Measure, st *mr.TaskStats) *earlyAggCombiner {
 	arity := s.NumAttrs()
-	return func(blockKey string, values [][]byte) ([][]byte, error) {
-		type group struct {
-			coords []int64
-			agg    measure.Aggregator
-		}
-		perBasic := make([]map[string]*group, len(basics))
-		for i := range perBasic {
-			perBasic[i] = make(map[string]*group)
-		}
-		rec := make(cube.Record, arity)
-		coord := make([]int64, arity)
-		for _, raw := range values {
-			if err := recio.DecodeRecordInto(raw, rec); err != nil {
-				return nil, err
-			}
-			for i, b := range basics {
-				s.CoordOf(rec, b.Grain, coord)
-				k := cube.EncodeCoords(coord)
-				g, ok := perBasic[i][k]
-				if !ok {
-					g = &group{coords: append([]int64(nil), coord...), agg: b.Agg.New()}
-					perBasic[i][k] = g
-				}
-				if b.InputAttr >= 0 {
-					g.agg.Add(float64(rec[b.InputAttr]))
-				} else {
-					g.agg.Add(0)
-				}
-			}
-		}
-		var out [][]byte
-		for i := range basics {
-			for _, g := range perBasic[i] {
-				out = append(out, encodePartial(i, g.coords, g.agg.State()))
-			}
-		}
-		return out, nil
+	return &earlyAggCombiner{
+		s: s, basics: basics, arity: arity, st: st,
+		blocks: make(map[string]*blockPartials),
+		rec:    make(cube.Record, arity),
+		coord:  make([]int64, arity),
 	}
 }
 
-func encodePartial(basicIdx int, coords []int64, state []byte) []byte {
-	buf := []byte{partialTag}
-	var tmp [binary.MaxVarintLen64]byte
-	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(basicIdx))]...)
+func (c *earlyAggCombiner) Add(blockKey string, raw []byte) error {
+	if err := recio.DecodeRecordInto(raw, c.rec); err != nil {
+		return err
+	}
+	bp, ok := c.blocks[blockKey]
+	if !ok {
+		bp = &blockPartials{perBasic: make([]map[string]*partialGroup, len(c.basics))}
+		for i := range bp.perBasic {
+			bp.perBasic[i] = make(map[string]*partialGroup)
+		}
+		c.blocks[blockKey] = bp
+	}
+	for i, b := range c.basics {
+		c.s.CoordOf(c.rec, b.Grain, c.coord)
+		k := cube.EncodeCoords(c.coord)
+		g, ok := bp.perBasic[i][k]
+		if !ok {
+			g = &partialGroup{coords: append([]int64(nil), c.coord...), agg: b.Agg.New()}
+			bp.perBasic[i][k] = g
+			c.groups++
+		} else {
+			c.st.CombineMerges++
+		}
+		if b.InputAttr >= 0 {
+			g.agg.Add(float64(c.rec[b.InputAttr]))
+		} else {
+			g.agg.Add(0)
+		}
+	}
+	return nil
+}
+
+func (c *earlyAggCombiner) Len() int { return c.groups }
+
+func (c *earlyAggCombiner) Flush(emit func(key string, value []byte) error) error {
+	// Deterministic flush: blocks in ascending key order, and within a
+	// block the partials in (basic index, region coordinate) order.
+	blockKeys := make([]string, 0, len(c.blocks))
+	for k := range c.blocks {
+		blockKeys = append(blockKeys, k)
+	}
+	sort.Strings(blockKeys)
+	for _, bk := range blockKeys {
+		bp := c.blocks[bk]
+		for i := range c.basics {
+			regionKeys := make([]string, 0, len(bp.perBasic[i]))
+			for rk := range bp.perBasic[i] {
+				regionKeys = append(regionKeys, rk)
+			}
+			sort.Strings(regionKeys)
+			for _, rk := range regionKeys {
+				g := bp.perBasic[i][rk]
+				// The emitted value is retained by the shuffle until the
+				// job ends, so it gets its own allocation.
+				if err := emit(bk, appendPartial(nil, i, g.coords, g.agg.State())); err != nil {
+					return err
+				}
+			}
+		}
+		delete(c.blocks, bk)
+	}
+	c.groups = 0
+	return nil
+}
+
+// appendPartial appends a tagged partial-state payload to dst.
+func appendPartial(dst []byte, basicIdx int, coords []int64, state []byte) []byte {
+	dst = append(dst, partialTag)
+	dst = binary.AppendUvarint(dst, uint64(basicIdx))
 	ck := cube.EncodeCoords(coords)
-	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(ck)))]...)
-	buf = append(buf, ck...)
-	return append(buf, state...)
+	dst = binary.AppendUvarint(dst, uint64(len(ck)))
+	dst = append(dst, ck...)
+	return append(dst, state...)
 }
 
 func decodePartial(b []byte, arity int) (int, []int64, []byte, error) {

@@ -75,7 +75,9 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.Records *= rep
 		t.PairsOut *= rep
 		t.BytesOut *= rep
+		t.BatchesSent *= rep
 		t.CombineInputs *= rep
+		t.CombineMerges *= rep
 		out.MapTasks = append(out.MapTasks, t)
 	}
 	for _, t := range js.ReduceTasks {
@@ -83,6 +85,7 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.BytesIn *= rep
 		t.SortItems *= rep
 		t.SpillBytes *= rep
+		t.SortAllocsSaved *= rep
 		t.GroupSortItems *= rep
 		t.GroupSpillBytes *= rep
 		t.EvalRecords *= rep

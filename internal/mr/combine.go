@@ -1,0 +1,68 @@
+package mr
+
+import (
+	"fmt"
+	"slices"
+)
+
+// funcCombiner adapts a CombineFunc to the streaming Combiner interface:
+// instead of buffering a copy of every emitted pair until the buffer
+// fills (the old map[string][][]byte design), each arriving value is
+// folded into the key's single partial state immediately — morsel-style
+// thread-local pre-aggregation. Memory is bounded by distinct keys, not
+// by raw pair volume.
+type funcCombiner struct {
+	fn     CombineFunc
+	st     *TaskStats
+	states map[string][][]byte
+	// scratch is the reused argument slice for fold calls:
+	// [state..., newValue].
+	scratch [][]byte
+}
+
+func newFuncCombiner(fn CombineFunc, st *TaskStats) *funcCombiner {
+	return &funcCombiner{fn: fn, st: st, states: make(map[string][][]byte)}
+}
+
+func (c *funcCombiner) Add(key string, value []byte) error {
+	state, ok := c.states[key]
+	// The incoming value is only valid during Add; the fold's output may
+	// alias its inputs, so hand the function a copy it can own.
+	v := append([]byte(nil), value...)
+	if !ok {
+		c.states[key] = [][]byte{v}
+		return nil
+	}
+	c.scratch = append(append(c.scratch[:0], state...), v)
+	merged, err := c.fn(key, c.scratch)
+	if err != nil {
+		return fmt.Errorf("combine %q: %w", key, err)
+	}
+	// Detach from scratch in the (unusual) case the function returned its
+	// input slice unchanged.
+	c.states[key] = slices.Clip(append(state[:0], merged...))
+	c.st.CombineMerges++
+	return nil
+}
+
+func (c *funcCombiner) Len() int { return len(c.states) }
+
+func (c *funcCombiner) Flush(emit func(key string, value []byte) error) error {
+	keys := make([]string, 0, len(c.states))
+	for k := range c.states {
+		keys = append(keys, k)
+	}
+	// Sorted-key flush order keeps the shuffle byte stream deterministic
+	// run to run (DESIGN.md's determinism invariant): Go map iteration
+	// order would otherwise vary the send order and the TCP interleaving.
+	slices.Sort(keys)
+	for _, k := range keys {
+		for _, v := range c.states[k] {
+			if err := emit(k, v); err != nil {
+				return err
+			}
+		}
+		delete(c.states, k)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package mr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// sumCombine is a reentrant CombineFunc (its output is parseable as its
+// input), as the streaming contract requires.
+func sumCombine(key string, values [][]byte) ([][]byte, error) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			return nil, err
+		}
+		total += n
+	}
+	return [][]byte{[]byte(strconv.Itoa(total))}, nil
+}
+
+// TestFuncCombinerStreamingEqualsBuffered is the combine equivalence
+// property: folding each pair into the per-key state as it arrives must
+// flush the same result as buffering all of a key's values and applying
+// the function once.
+func TestFuncCombinerStreamingEqualsBuffered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var keys []string
+	var vals []int
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, fmt.Sprintf("k%02d", rng.Intn(30)))
+		vals = append(vals, rng.Intn(100))
+	}
+
+	// Streaming path: one Add per pair; the incoming value buffer is
+	// deliberately reused to exercise the "valid only during Add" rule.
+	var st TaskStats
+	comb := newFuncCombiner(sumCombine, &st)
+	scratch := make([]byte, 0, 8)
+	for i, k := range keys {
+		scratch = strconv.AppendInt(scratch[:0], int64(vals[i]), 10)
+		if err := comb.Add(k, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamed := map[string]int{}
+	var flushOrder []string
+	if err := comb.Flush(func(k string, v []byte) error {
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			return err
+		}
+		if _, dup := streamed[k]; dup {
+			t.Errorf("key %q flushed twice", k)
+		}
+		streamed[k] = n
+		flushOrder = append(flushOrder, k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if comb.Len() != 0 {
+		t.Errorf("combiner not reset: Len = %d", comb.Len())
+	}
+	if st.CombineMerges == 0 {
+		t.Error("no streaming merges counted")
+	}
+	if !sort.StringsAreSorted(flushOrder) {
+		t.Errorf("flush order not ascending: %v", flushOrder)
+	}
+
+	// Buffered reference: all of a key's values at once, one fold.
+	grouped := map[string][][]byte{}
+	for i, k := range keys {
+		grouped[k] = append(grouped[k], []byte(strconv.Itoa(vals[i])))
+	}
+	if len(streamed) != len(grouped) {
+		t.Fatalf("streamed %d keys, want %d", len(streamed), len(grouped))
+	}
+	for k, vs := range grouped {
+		out, err := sumCombine(k, vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := strconv.Atoi(string(out[0]))
+		if streamed[k] != want {
+			t.Errorf("key %q: streamed %d, buffered %d", k, streamed[k], want)
+		}
+	}
+}
+
+// TestWordCountAcrossBatchSizes runs the same job with batching disabled
+// (size 1), a small batch size, and the default, over both transports; the
+// output must be identical and the batch counters consistent.
+func TestWordCountAcrossBatchSizes(t *testing.T) {
+	factories := map[string]transport.Factory{
+		"channel": nil, // job default
+		"tcp":     transport.TCPFactory(64),
+	}
+	for fname, factory := range factories {
+		for _, size := range []int{1, 2, DefaultShuffleBatchPairs} {
+			t.Run(fmt.Sprintf("%s/batch=%d", fname, size), func(t *testing.T) {
+				res, err := Run(wordCountJob(wcLines, Config{
+					NumReducers:       3,
+					Transport:         factory,
+					ShuffleBatchPairs: size,
+					TempDir:           t.TempDir(),
+				}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkWordCount(t, res)
+				var pairs, batches int64
+				for _, m := range res.Stats.MapTasks {
+					pairs += m.PairsOut
+					batches += m.BatchesSent
+				}
+				if batches == 0 || batches > pairs {
+					t.Errorf("BatchesSent = %d with PairsOut = %d", batches, pairs)
+				}
+				if size == 1 && batches != pairs {
+					t.Errorf("unbatched: BatchesSent = %d, want %d", batches, pairs)
+				}
+				if size >= 2 && batches >= pairs {
+					t.Errorf("batched (size %d): BatchesSent = %d not < PairsOut %d", size, batches, pairs)
+				}
+			})
+		}
+	}
+}

@@ -38,7 +38,9 @@ type TaskStats struct {
 	Records       int64
 	PairsOut      int64
 	BytesOut      int64
-	CombineInputs int64
+	BatchesSent   int64 // shuffle batches shipped (≤ PairsOut; = PairsOut unbatched)
+	CombineInputs int64 // pairs that entered the combiner
+	CombineMerges int64 // pairs merged in place into an existing partial state
 
 	// Reduce side.
 	PairsIn         int64
@@ -46,6 +48,7 @@ type TaskStats struct {
 	SortItems       int64
 	SpillBytes      int64
 	SpillRuns       int64
+	SortAllocsSaved int64 // sorter encode/decode ops served by reused buffers
 	GroupSortItems  int64
 	GroupSpillBytes int64
 	EvalRecords     int64
@@ -97,14 +100,51 @@ type MapCtx struct {
 }
 
 // Emit sends one key/value pair into the shuffle.
+//
+// Value ownership: without a combiner the framework does NOT copy value —
+// it is buffered in shuffle batches and retained until the job completes,
+// so it must reference memory that stays valid and unmodified for the
+// job's duration (input-split block bytes and freshly allocated slices
+// both qualify; a scratch buffer the mapper rewrites does not). With a
+// combiner, value only needs to stay valid for the duration of the Emit
+// call — the combiner folds it into its partial state immediately.
 func (c *MapCtx) Emit(key string, value []byte) error { return c.emit(key, value) }
 
 // MapFunc processes one input record.
 type MapFunc func(ctx *MapCtx, record []byte) error
 
-// CombineFunc merges the buffered values of one key map-side and returns
-// the (hopefully fewer/smaller) values to ship.
+// CombineFunc merges the values of one key map-side and returns the
+// (hopefully fewer/smaller) values to ship. The framework applies it
+// streamingly: each arriving value is folded into the key's current
+// partial state, so values may include the function's OWN prior outputs
+// (the standard Hadoop combiner contract — the function must be
+// associative over its output representation). Implementations needing to
+// distinguish raw records from partial states should use the Combiner
+// interface instead. Input value slices are owned by the framework;
+// outputs may alias them.
 type CombineFunc func(key string, values [][]byte) ([][]byte, error)
+
+// Combiner is the streaming form of map-side early aggregation
+// (morsel-style thread-local pre-aggregation): one instance serves one
+// map task, absorbing emitted pairs into per-key partial states and
+// emitting them on flush. Implementations are single-goroutine.
+type Combiner interface {
+	// Add folds one emitted pair into the key's partial state. value is
+	// only valid during the call; retain a copy if needed.
+	Add(key string, value []byte) error
+	// Flush emits every buffered partial state in ascending key order
+	// (keeping shuffle send order deterministic) and resets the combiner.
+	// Emitted values are handed off to the framework (see MapCtx.Emit's
+	// no-combiner ownership rule).
+	Flush(emit func(key string, value []byte) error) error
+	// Len reports the number of buffered partial states, the framework's
+	// flush trigger.
+	Len() int
+}
+
+// CombinerFactory creates one Combiner per map task. The factory may bump
+// the task's CombineMerges counter from inside the combiner.
+type CombinerFactory func(st *TaskStats) Combiner
 
 // ReduceCtx is passed to the reduce function.
 type ReduceCtx struct {
@@ -113,7 +153,9 @@ type ReduceCtx struct {
 	emit    func(key string, value []byte)
 }
 
-// Emit contributes one record to the job output.
+// Emit contributes one record to the job output. The framework takes
+// ownership of value without copying it: the reducer must not reuse or
+// mutate the slice afterwards.
 func (c *ReduceCtx) Emit(key string, value []byte) {
 	c.Stats.OutputRecords++
 	c.emit(key, value)
@@ -134,10 +176,20 @@ type Config struct {
 	ReduceParallelism int
 	// Transport produces the shuffle transport (default in-memory).
 	Transport transport.Factory
-	// Combine enables map-side early aggregation when non-nil.
+	// ShuffleBatchPairs sets how many pairs each map task buffers per
+	// reducer before shipping them as one framed batch (default 256; 1
+	// disables batching and sends pair-at-a-time).
+	ShuffleBatchPairs int
+	// NewCombiner enables map-side early aggregation with a streaming
+	// combiner when non-nil. Takes precedence over Combine.
+	NewCombiner CombinerFactory
+	// Combine enables map-side early aggregation when non-nil; the
+	// function is applied streamingly and must satisfy the CombineFunc
+	// reentrancy contract. Prefer NewCombiner for stateful aggregation.
 	Combine CombineFunc
-	// CombineBufferPairs flushes the combine buffer at this many buffered
-	// pairs (default 65536).
+	// CombineBufferPairs flushes the combiner when this many per-key
+	// partial states are buffered (default 65536). With streaming merge
+	// this bounds distinct keys held, not raw pairs.
 	CombineBufferPairs int
 	// ShuffleDisabled runs the map phase only (the Figure 4(d) "Map-Only"
 	// stage): pairs are counted but not sent, and no reduce phase runs.
@@ -173,6 +225,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Transport == nil {
 		c.Transport = transport.ChannelFactory(0)
 	}
+	if c.ShuffleBatchPairs < 1 {
+		c.ShuffleBatchPairs = DefaultShuffleBatchPairs
+	}
 	if c.CombineBufferPairs < 1 {
 		c.CombineBufferPairs = 1 << 16
 	}
@@ -190,6 +245,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	return c, nil
 }
+
+// DefaultShuffleBatchPairs is the default per-reducer shuffle batch size.
+// 256 pairs amortize the per-frame channel/gob cost well below the
+// per-pair work while keeping at most a few thousand pairs buffered per
+// map task.
+const DefaultShuffleBatchPairs = 256
 
 // HashPartition is the default FNV-1a partitioner.
 func HashPartition(key string, n int) int {

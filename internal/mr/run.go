@@ -1,7 +1,9 @@
 package mr
 
 import (
+	"encoding/binary"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,20 +50,22 @@ func Run(job Job) (*Result, error) {
 			r := r
 			reduceStats[r].Task = fmt.Sprintf("reduce-%d", r)
 			sorters[r] = sortx.New(
-				func(a, b transport.Pair) bool { return a.Key < b.Key },
+				func(a, b transport.Pair) int { return strings.Compare(a.Key, b.Key) },
 				pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
 			collectWG.Add(1)
 			go func() {
 				defer collectWG.Done()
 				st := &reduceStats[r]
-				for p := range tr.Receive(r) {
-					st.PairsIn++
-					st.BytesIn += p.Size()
-					if collectErr.get() != nil {
-						continue // keep draining to avoid sender deadlock
-					}
-					if err := sorters[r].Add(p); err != nil {
-						collectErr.set(err)
+				for batch := range tr.Receive(r) {
+					for _, p := range batch {
+						st.PairsIn++
+						st.BytesIn += p.Size()
+						if collectErr.get() != nil {
+							continue // keep draining to avoid sender deadlock
+						}
+						if err := sorters[r].Add(p); err != nil {
+							collectErr.set(err)
+						}
 					}
 				}
 			}()
@@ -173,22 +177,43 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 	}
 	st.BytesRead += sp.SizeBytes()
 
+	// Each map task owns one batch writer: pairs accumulate per reducer
+	// and ship as one framed SendBatch, so channel operations and gob
+	// round-trips drop by the batch factor.
+	var bw *transport.BatchWriter
+	if !cfg.ShuffleDisabled {
+		bw = transport.NewBatchWriter(tr, cfg.NumReducers, cfg.ShuffleBatchPairs)
+	}
 	send := func(key string, value []byte) error {
 		st.PairsOut++
 		st.BytesOut += int64(len(key) + len(value))
-		if cfg.ShuffleDisabled {
+		if bw == nil {
 			return nil
 		}
 		// Partition by the group identity, not the full key, so that a
 		// composite sort key never scatters one group across reducers.
-		return tr.Send(cfg.Partition(cfg.GroupBy(key), cfg.NumReducers), transport.Pair{Key: key, Value: value})
+		return bw.Send(cfg.Partition(cfg.GroupBy(key), cfg.NumReducers), transport.Pair{Key: key, Value: value})
 	}
 
-	var comb *combineBuffer
+	var comb Combiner
 	emit := send
-	if cfg.Combine != nil {
-		comb = newCombineBuffer(cfg.Combine, cfg.CombineBufferPairs, st, send)
-		emit = comb.add
+	switch {
+	case cfg.NewCombiner != nil:
+		comb = cfg.NewCombiner(st)
+	case cfg.Combine != nil:
+		comb = newFuncCombiner(cfg.Combine, st)
+	}
+	if comb != nil {
+		emit = func(key string, value []byte) error {
+			st.CombineInputs++
+			if err := comb.Add(key, value); err != nil {
+				return err
+			}
+			if comb.Len() >= cfg.CombineBufferPairs {
+				return comb.Flush(send)
+			}
+			return nil
+		}
 	}
 	ctx := &MapCtx{Stats: st, emit: emit}
 	for {
@@ -205,7 +230,15 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 		}
 	}
 	if comb != nil {
-		return comb.flush()
+		if err := comb.Flush(send); err != nil {
+			return err
+		}
+	}
+	if bw != nil {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		st.BatchesSent += bw.Batches()
 	}
 	return nil
 }
@@ -220,12 +253,14 @@ func runReduceTask(reduceFn ReduceFunc, sorter *sortx.Sorter[transport.Pair], st
 	st.SortItems = ss.Items
 	st.SpillBytes = ss.SpilledBytes
 	st.SpillRuns = int64(ss.Runs)
+	st.SortAllocsSaved = ss.AllocsSaved
 
 	ctx := &ReduceCtx{
 		Stats:   st,
 		TempDir: cfg.TempDir,
 		emit: func(key string, value []byte) {
-			*out = append(*out, transport.Pair{Key: key, Value: append([]byte(nil), value...)})
+			// ReduceCtx.Emit hands off ownership of value; no copy needed.
+			*out = append(*out, transport.Pair{Key: key, Value: value})
 		},
 	}
 	cur, ok, err := it.Next()
@@ -243,6 +278,9 @@ func runReduceTask(reduceFn ReduceFunc, sorter *sortx.Sorter[transport.Pair], st
 		}
 		cur, ok = gi.cur, gi.curValid
 	}
+	// Merge-path buffer reuses accumulate while iterating; refresh the
+	// counter now that the stream is drained.
+	st.SortAllocsSaved = sorter.Stats().AllocsSaved
 	return nil
 }
 
@@ -257,6 +295,11 @@ type GroupIter struct {
 }
 
 // Next returns the next pair of the group; ok=false at the group's end.
+//
+// Ownership: the pair's Value is only guaranteed valid until the
+// following Next call (spilled pairs alias the sorter's reused read
+// buffers). Reduce functions that retain a value across Next must copy
+// it; Key is a string and always safe to keep.
 func (g *GroupIter) Next() (transport.Pair, bool, error) {
 	if g.done {
 		return transport.Pair{}, false, nil
@@ -296,93 +339,27 @@ func (g *GroupIter) Drain() error {
 	}
 }
 
-// combineBuffer implements map-side early aggregation: pairs are buffered
-// per key; when the buffer fills, each key's values are merged by the
-// combine function and shipped.
-type combineBuffer struct {
-	fn    CombineFunc
-	limit int
-	st    *TaskStats
-	send  func(key string, value []byte) error
-	buf   map[string][][]byte
-	n     int
-}
-
-func newCombineBuffer(fn CombineFunc, limit int, st *TaskStats, send func(string, []byte) error) *combineBuffer {
-	return &combineBuffer{fn: fn, limit: limit, st: st, send: send, buf: make(map[string][][]byte)}
-}
-
-func (c *combineBuffer) add(key string, value []byte) error {
-	c.buf[key] = append(c.buf[key], append([]byte(nil), value...))
-	c.n++
-	c.st.CombineInputs++
-	if c.n >= c.limit {
-		return c.flush()
-	}
-	return nil
-}
-
-func (c *combineBuffer) flush() error {
-	for key, values := range c.buf {
-		merged, err := c.fn(key, values)
-		if err != nil {
-			return fmt.Errorf("combine %q: %w", key, err)
-		}
-		for _, v := range merged {
-			if err := c.send(key, v); err != nil {
-				return err
-			}
-		}
-		delete(c.buf, key)
-	}
-	c.n = 0
-	return nil
-}
-
 // pairCodec serializes shuffle pairs for the reducer's external sort.
 type pairCodec struct{}
 
-func (pairCodec) Encode(p transport.Pair) ([]byte, error) {
-	buf := make([]byte, 0, len(p.Key)+len(p.Value)+4)
-	buf = appendUvarint(buf, uint64(len(p.Key)))
-	buf = append(buf, p.Key...)
-	buf = append(buf, p.Value...)
-	return buf, nil
+func (pairCodec) EncodeTo(dst []byte, p transport.Pair) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(p.Key)))
+	dst = append(dst, p.Key...)
+	return append(dst, p.Value...), nil
 }
 
+// Decode parses a spilled pair. Value aliases b, per the sortx.Codec
+// contract: it is valid until the next item is read from the same run,
+// which GroupIter.Next surfaces to reduce functions.
 func (pairCodec) Decode(b []byte) (transport.Pair, error) {
-	n, rest, err := readUvarint(b)
-	if err != nil || uint64(len(rest)) < n {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) < n {
 		return transport.Pair{}, fmt.Errorf("mr: corrupt spilled pair")
 	}
 	return transport.Pair{
-		Key:   string(rest[:n]),
-		Value: append([]byte(nil), rest[n:]...),
+		Key:   string(b[k : k+int(n)]),
+		Value: b[k+int(n):],
 	}, nil
-}
-
-func appendUvarint(buf []byte, v uint64) []byte {
-	for v >= 0x80 {
-		buf = append(buf, byte(v)|0x80)
-		v >>= 7
-	}
-	return append(buf, byte(v))
-}
-
-func readUvarint(b []byte) (uint64, []byte, error) {
-	var v uint64
-	var shift uint
-	for i, c := range b {
-		if c < 0x80 {
-			return v | uint64(c)<<shift, b[i+1:], nil
-		}
-		v |= uint64(c&0x7f) << shift
-		shift += 7
-		if shift > 63 {
-			break
-		}
-	}
-	return 0, nil, fmt.Errorf("mr: truncated varint")
 }
 
 // firstErr remembers the first error set, thread-safely.

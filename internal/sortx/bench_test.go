@@ -23,7 +23,7 @@ func BenchmarkSort(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			dir := b.TempDir()
 			for i := 0; i < b.N; i++ {
-				s := New(func(a, b int64) bool { return a < b }, int64Codec{}, dir, c.budget)
+				s := New(cmpInt64, int64Codec{}, dir, c.budget)
 				for _, v := range input {
 					if err := s.Add(v); err != nil {
 						b.Fatal(err)

@@ -4,6 +4,12 @@
 // pairs ("reducers collect pairs and use external sorting to group pairs
 // with the same key value"), and its spill counters feed the cost model's
 // out-of-core sorting term.
+//
+// The spill and merge paths are allocation-lean: run generation encodes
+// every item into one reused scratch buffer (the append-style EncodeTo),
+// and the k-way merge decodes from per-run reused read buffers. Decoded
+// items may therefore alias transient buffers — see Iterator.Next for the
+// ownership contract.
 package sortx
 
 import (
@@ -13,12 +19,18 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 )
 
 // Codec serializes items for spill files.
 type Codec[T any] interface {
-	Encode(item T) ([]byte, error)
+	// EncodeTo appends the item's encoding to dst and returns the
+	// extended slice (which may have been reallocated). The sorter reuses
+	// dst across items, so encoders must not retain it.
+	EncodeTo(dst []byte, item T) ([]byte, error)
+	// Decode parses one item from data. The decoded item MAY alias data;
+	// the sorter guarantees data stays valid until the next item is read
+	// from the same run, which matches Iterator.Next's contract.
 	Decode(data []byte) (T, error)
 }
 
@@ -28,27 +40,30 @@ type Stats struct {
 	Runs         int   // spilled run files (0 when fully in-memory)
 	SpilledItems int64 // items written to disk
 	SpilledBytes int64 // bytes written to disk (read back once more on merge)
+	AllocsSaved  int64 // encode/decode operations served by a reused buffer
 }
 
 // Sorter accumulates items and then yields them in sorted order. It is
 // single-goroutine: Add all items, then Iterate once.
 type Sorter[T any] struct {
-	less      func(a, b T) bool
+	cmp       func(a, b T) int
 	codec     Codec[T]
 	dir       string
 	memBudget int
 
-	buf   []T
-	runs  []*os.File
-	stats Stats
-	done  bool
+	buf     []T
+	scratch []byte // reused per-item encode buffer for spills
+	runs    []*os.File
+	stats   Stats
+	done    bool
 }
 
-// New returns a sorter ordering items by less, spilling to temp files in
-// dir (or the OS default when dir is empty) whenever more than memBudget
-// items are buffered. A memBudget < 1 keeps everything in memory.
-func New[T any](less func(a, b T) bool, codec Codec[T], dir string, memBudget int) *Sorter[T] {
-	return &Sorter[T]{less: less, codec: codec, dir: dir, memBudget: memBudget}
+// New returns a sorter ordering items by cmp (negative when a < b, as in
+// slices.SortStableFunc), spilling to temp files in dir (or the OS default
+// when dir is empty) whenever more than memBudget items are buffered. A
+// memBudget < 1 keeps everything in memory.
+func New[T any](cmp func(a, b T) int, codec Codec[T], dir string, memBudget int) *Sorter[T] {
+	return &Sorter[T]{cmp: cmp, codec: codec, dir: dir, memBudget: memBudget}
 }
 
 // Stats returns the sorter's counters.
@@ -71,7 +86,7 @@ func (s *Sorter[T]) spill() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	slices.SortStableFunc(s.buf, s.cmp)
 	f, err := os.CreateTemp(s.dir, "sortx-run-*.bin")
 	if err != nil {
 		return fmt.Errorf("sortx: create run: %w", err)
@@ -81,10 +96,15 @@ func (s *Sorter[T]) spill() error {
 	w := bufio.NewWriterSize(f, 1<<16)
 	var lenBuf [binary.MaxVarintLen64]byte
 	for _, it := range s.buf {
-		data, err := s.codec.Encode(it)
+		before := cap(s.scratch)
+		data, err := s.codec.EncodeTo(s.scratch[:0], it)
 		if err != nil {
 			f.Close()
 			return fmt.Errorf("sortx: encode: %w", err)
+		}
+		s.scratch = data
+		if cap(data) == before && before > 0 {
+			s.stats.AllocsSaved++
 		}
 		n := binary.PutUvarint(lenBuf[:], uint64(len(data)))
 		if _, err := w.Write(lenBuf[:n]); err != nil {
@@ -116,6 +136,11 @@ type Iterator[T any] struct {
 }
 
 // Next returns the next item in order; ok is false at the end.
+//
+// Ownership: the returned item is only guaranteed valid until the
+// following Next call — items read back from spill runs may alias a
+// reused read buffer. Callers that retain an item across Next must copy
+// whatever it references.
 func (it *Iterator[T]) Next() (item T, ok bool, err error) { return it.next() }
 
 // Close releases resources.
@@ -133,7 +158,7 @@ func (s *Sorter[T]) Iterate() (*Iterator[T], error) {
 		return nil, fmt.Errorf("sortx: Iterate called twice")
 	}
 	s.done = true
-	sort.SliceStable(s.buf, func(i, j int) bool { return s.less(s.buf[i], s.buf[j]) })
+	slices.SortStableFunc(s.buf, s.cmp)
 	if len(s.runs) == 0 {
 		i := 0
 		buf := s.buf
@@ -157,12 +182,12 @@ func (s *Sorter[T]) Iterate() (*Iterator[T], error) {
 			s.closeRuns()
 			return nil, fmt.Errorf("sortx: rewind run: %w", err)
 		}
-		sources = append(sources, &runReader[T]{r: bufio.NewReaderSize(f, 1<<16), codec: s.codec})
+		sources = append(sources, &runReader[T]{r: bufio.NewReaderSize(f, 1<<16), codec: s.codec, stats: &s.stats})
 	}
 	if len(s.buf) > 0 {
-		sources = append(sources, &runReader[T]{mem: s.buf, codec: s.codec})
+		sources = append(sources, &runReader[T]{mem: s.buf, codec: s.codec, stats: &s.stats})
 	}
-	h := &mergeHeap[T]{less: s.less}
+	h := &mergeHeap[T]{cmp: s.cmp}
 	for i, src := range sources {
 		item, ok, err := src.next()
 		if err != nil {
@@ -174,23 +199,32 @@ func (s *Sorter[T]) Iterate() (*Iterator[T], error) {
 		}
 	}
 	heap.Init(h)
+	// The heap top is refilled lazily, on the Next call AFTER its item was
+	// handed out: refilling reads the source's next record into the reused
+	// run buffer, which would corrupt an aliasing item that the caller is
+	// still looking at.
+	pending := -1
 	return &Iterator[T]{
 		next: func() (T, bool, error) {
 			var zero T
+			if pending >= 0 {
+				item, ok, err := sources[pending].next()
+				if err != nil {
+					return zero, false, err
+				}
+				if ok {
+					h.entries[0] = mergeEntry[T]{item: item, src: pending}
+					heap.Fix(h, 0)
+				} else {
+					heap.Pop(h)
+				}
+				pending = -1
+			}
 			if h.Len() == 0 {
 				return zero, false, nil
 			}
 			top := h.entries[0]
-			item, ok, err := sources[top.src].next()
-			if err != nil {
-				return zero, false, err
-			}
-			if ok {
-				h.entries[0] = mergeEntry[T]{item: item, src: top.src}
-				heap.Fix(h, 0)
-			} else {
-				heap.Pop(h)
-			}
+			pending = top.src
 			return top.item, true, nil
 		},
 		close: s.closeRuns,
@@ -209,6 +243,7 @@ type runReader[T any] struct {
 	mem   []T
 	codec Codec[T]
 	buf   []byte
+	stats *Stats
 }
 
 func (rr *runReader[T]) next() (T, bool, error) {
@@ -230,6 +265,8 @@ func (rr *runReader[T]) next() (T, bool, error) {
 	}
 	if cap(rr.buf) < int(n) {
 		rr.buf = make([]byte, n)
+	} else {
+		rr.stats.AllocsSaved++
 	}
 	rr.buf = rr.buf[:n]
 	if _, err := io.ReadFull(rr.r, rr.buf); err != nil {
@@ -249,12 +286,12 @@ type mergeEntry[T any] struct {
 
 type mergeHeap[T any] struct {
 	entries []mergeEntry[T]
-	less    func(a, b T) bool
+	cmp     func(a, b T) int
 }
 
 func (h *mergeHeap[T]) Len() int { return len(h.entries) }
 func (h *mergeHeap[T]) Less(i, j int) bool {
-	return h.less(h.entries[i].item, h.entries[j].item)
+	return h.cmp(h.entries[i].item, h.entries[j].item) < 0
 }
 func (h *mergeHeap[T]) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
 func (h *mergeHeap[T]) Push(x any)    { h.entries = append(h.entries, x.(mergeEntry[T])) }
@@ -268,9 +305,9 @@ func (h *mergeHeap[T]) Pop() any {
 // BytesCodec is a pass-through codec for []byte items.
 type BytesCodec struct{}
 
-// Encode implements Codec.
-func (BytesCodec) Encode(b []byte) ([]byte, error) { return b, nil }
+// EncodeTo implements Codec.
+func (BytesCodec) EncodeTo(dst, b []byte) ([]byte, error) { return append(dst, b...), nil }
 
-// Decode implements Codec. The returned slice is copied because the
-// iterator reuses its read buffer.
-func (BytesCodec) Decode(b []byte) ([]byte, error) { return append([]byte(nil), b...), nil }
+// Decode implements Codec. The returned slice aliases the iterator's read
+// buffer (valid until the next item, per Iterator.Next).
+func (BytesCodec) Decode(b []byte) ([]byte, error) { return b, nil }

@@ -1,6 +1,7 @@
 package sortx
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -9,12 +10,15 @@ import (
 	"testing/quick"
 )
 
+// cmpInt64 orders int64 sorters in tests.
+func cmpInt64(a, b int64) int { return cmp.Compare(a, b) }
+
 type int64Codec struct{}
 
-func (int64Codec) Encode(v int64) ([]byte, error) {
+func (int64Codec) EncodeTo(dst []byte, v int64) ([]byte, error) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	return buf[:], nil
+	return append(dst, buf[:]...), nil
 }
 func (int64Codec) Decode(b []byte) (int64, error) {
 	if len(b) != 8 {
@@ -41,7 +45,7 @@ func drain(t *testing.T, it *Iterator[int64]) []int64 {
 
 func checkSorted(t *testing.T, input []int64, budget int) {
 	t.Helper()
-	s := New(func(a, b int64) bool { return a < b }, int64Codec{}, t.TempDir(), budget)
+	s := New(cmpInt64, int64Codec{}, t.TempDir(), budget)
 	for _, v := range input {
 		if err := s.Add(v); err != nil {
 			t.Fatal(err)
@@ -86,7 +90,7 @@ func TestSpillingSort(t *testing.T) {
 }
 
 func TestSpillStats(t *testing.T) {
-	s := New(func(a, b int64) bool { return a < b }, int64Codec{}, t.TempDir(), 10)
+	s := New(cmpInt64, int64Codec{}, t.TempDir(), 10)
 	for i := int64(0); i < 95; i++ {
 		if err := s.Add(i); err != nil {
 			t.Fatal(err)
@@ -116,7 +120,7 @@ func TestSpillStats(t *testing.T) {
 }
 
 func TestInMemoryNoSpillStats(t *testing.T) {
-	s := New(func(a, b int64) bool { return a < b }, int64Codec{}, t.TempDir(), 0)
+	s := New(cmpInt64, int64Codec{}, t.TempDir(), 0)
 	for i := int64(0); i < 1000; i++ {
 		s.Add(i)
 	}
@@ -126,7 +130,7 @@ func TestInMemoryNoSpillStats(t *testing.T) {
 }
 
 func TestEmptySort(t *testing.T) {
-	s := New(func(a, b int64) bool { return a < b }, int64Codec{}, t.TempDir(), 4)
+	s := New(cmpInt64, int64Codec{}, t.TempDir(), 4)
 	it, err := s.Iterate()
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +141,7 @@ func TestEmptySort(t *testing.T) {
 }
 
 func TestUsageErrors(t *testing.T) {
-	s := New(func(a, b int64) bool { return a < b }, int64Codec{}, t.TempDir(), 0)
+	s := New(cmpInt64, int64Codec{}, t.TempDir(), 0)
 	s.Add(1)
 	if _, err := s.Iterate(); err != nil {
 		t.Fatal(err)
@@ -152,20 +156,20 @@ func TestUsageErrors(t *testing.T) {
 
 type badCodec struct{ failEncode bool }
 
-func (c badCodec) Encode(v int64) ([]byte, error) {
+func (c badCodec) EncodeTo(dst []byte, v int64) ([]byte, error) {
 	if c.failEncode {
 		return nil, fmt.Errorf("encode boom")
 	}
-	return []byte{1}, nil
+	return append(dst, 1), nil
 }
 func (c badCodec) Decode(b []byte) (int64, error) { return 0, fmt.Errorf("decode boom") }
 
 func TestCodecErrorsPropagate(t *testing.T) {
-	s := New(func(a, b int64) bool { return a < b }, badCodec{failEncode: true}, t.TempDir(), 1)
+	s := New(cmpInt64, badCodec{failEncode: true}, t.TempDir(), 1)
 	if err := s.Add(1); err == nil {
 		t.Error("encode error swallowed on spill")
 	}
-	s2 := New(func(a, b int64) bool { return a < b }, badCodec{}, t.TempDir(), 1)
+	s2 := New(cmpInt64, badCodec{}, t.TempDir(), 1)
 	s2.Add(1)
 	s2.Add(2)
 	if _, err := s2.Iterate(); err == nil {
@@ -176,7 +180,7 @@ func TestCodecErrorsPropagate(t *testing.T) {
 func TestSortPropertyRandomBudgets(t *testing.T) {
 	f := func(raw []int64, budgetRaw uint8) bool {
 		budget := int(budgetRaw % 20)
-		s := New(func(a, b int64) bool { return a < b }, int64Codec{}, t.TempDir(), budget)
+		s := New(cmpInt64, int64Codec{}, t.TempDir(), budget)
 		for _, v := range raw {
 			if err := s.Add(v); err != nil {
 				return false
@@ -230,7 +234,7 @@ func TestStability(t *testing.T) {
 	// grouping, not ordering within groups, but stability makes runs
 	// deterministic).
 	codec := pairCodec{}
-	s := New(func(a, b pair) bool { return a.k < b.k }, codec, t.TempDir(), 3)
+	s := New(func(a, b pair) int { return cmp.Compare(a.k, b.k) }, codec, t.TempDir(), 3)
 	for i := int64(0); i < 20; i++ {
 		s.Add(pair{k: i % 2, seq: i})
 	}
@@ -261,11 +265,11 @@ type pair struct{ k, seq int64 }
 
 type pairCodec struct{}
 
-func (pairCodec) Encode(p pair) ([]byte, error) {
+func (pairCodec) EncodeTo(dst []byte, p pair) ([]byte, error) {
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[:8], uint64(p.k))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(p.seq))
-	return buf[:], nil
+	return append(dst, buf[:]...), nil
 }
 func (pairCodec) Decode(b []byte) (pair, error) {
 	var p pair

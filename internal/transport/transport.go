@@ -5,9 +5,20 @@
 // paths a multi-node deployment would ("the result pairs are shuffled and
 // dispatched to reducers").
 //
-// A Transport instance serves one job execution: mappers call Send
-// concurrently, then the driver calls CloseSend exactly once; each reducer
-// drains its Receive channel until it is closed.
+// A Transport instance serves one job execution: mappers call Send or
+// SendBatch concurrently, then the driver calls CloseSend exactly once;
+// each reducer drains its Receive channel until it is closed.
+//
+// Delivery is batch-framed end to end: the channel transport moves one
+// []Pair slice per channel operation and the TCP transport encodes one
+// gob frame per batch, so both the synchronization and the round-trip
+// count drop by the batch factor. Senders that emit pair-at-a-time use a
+// BatchWriter to accumulate per-reducer batches.
+//
+// Ownership: a batch slice passed to SendBatch is handed off to the
+// transport (and, for the channel transport, surfaces unchanged at the
+// receiver) — the caller must not reuse or mutate it, nor the Key/Value
+// contents it references, for the life of the job.
 package transport
 
 import (
@@ -28,16 +39,26 @@ func (p Pair) Size() int64 { return int64(len(p.Key) + len(p.Value)) }
 
 // Transport delivers pairs to numbered reducers.
 type Transport interface {
-	// Send delivers a pair to reducer r. Safe for concurrent use by many
-	// mapper goroutines. It fails after CloseSend.
+	// Send delivers a single pair to reducer r; equivalent to a one-pair
+	// SendBatch. Safe for concurrent use by many mapper goroutines. It
+	// fails after CloseSend.
 	Send(r int, p Pair) error
+	// SendBatch delivers a batch of pairs to reducer r in one framed
+	// operation. The transport takes ownership of ps (see the package
+	// comment). Empty batches are a no-op. Safe for concurrent use; it
+	// fails after CloseSend.
+	SendBatch(r int, ps []Pair) error
 	// CloseSend signals that no more pairs will be sent. Receive channels
-	// close once their in-flight pairs are drained.
+	// close once their in-flight batches are drained.
 	CloseSend() error
-	// Receive returns reducer r's input channel.
-	Receive(r int) <-chan Pair
+	// Receive returns reducer r's input channel of batches. Each batch
+	// holds at least one pair.
+	Receive(r int) <-chan []Pair
 	// BytesSent reports the total payload bytes sent so far.
 	BytesSent() int64
+	// BatchesSent reports the number of framed batch deliveries so far
+	// (single-pair Sends count as one batch each).
+	BatchesSent() int64
 	// Close releases resources. Call after all receivers are drained.
 	Close() error
 }
@@ -47,13 +68,14 @@ type Factory func(numReducers int) (Transport, error)
 
 // channelTransport is the in-memory implementation.
 type channelTransport struct {
-	chans  []chan Pair
-	bytes  atomic.Int64
-	closed atomic.Bool
+	chans   []chan []Pair
+	bytes   atomic.Int64
+	batches atomic.Int64
+	closed  atomic.Bool
 }
 
 // NewChannel returns an in-memory transport with the given per-reducer
-// buffer (a buffer < 1 defaults to 1024).
+// buffer in batches (a buffer < 1 defaults to 1024).
 func NewChannel(numReducers, buffer int) (Transport, error) {
 	if numReducers < 1 {
 		return nil, fmt.Errorf("transport: reducer count %d < 1", numReducers)
@@ -61,9 +83,9 @@ func NewChannel(numReducers, buffer int) (Transport, error) {
 	if buffer < 1 {
 		buffer = 1024
 	}
-	t := &channelTransport{chans: make([]chan Pair, numReducers)}
+	t := &channelTransport{chans: make([]chan []Pair, numReducers)}
 	for i := range t.chans {
-		t.chans[i] = make(chan Pair, buffer)
+		t.chans[i] = make(chan []Pair, buffer)
 	}
 	return t, nil
 }
@@ -74,14 +96,26 @@ func ChannelFactory(buffer int) Factory {
 }
 
 func (t *channelTransport) Send(r int, p Pair) error {
+	return t.SendBatch(r, []Pair{p})
+}
+
+func (t *channelTransport) SendBatch(r int, ps []Pair) error {
+	if len(ps) == 0 {
+		return nil
+	}
 	if t.closed.Load() {
 		return fmt.Errorf("transport: send after CloseSend")
 	}
 	if r < 0 || r >= len(t.chans) {
 		return fmt.Errorf("transport: reducer %d out of range [0,%d)", r, len(t.chans))
 	}
-	t.bytes.Add(p.Size())
-	t.chans[r] <- p
+	var bytes int64
+	for i := range ps {
+		bytes += ps[i].Size()
+	}
+	t.bytes.Add(bytes)
+	t.batches.Add(1)
+	t.chans[r] <- ps
 	return nil
 }
 
@@ -95,6 +129,7 @@ func (t *channelTransport) CloseSend() error {
 	return nil
 }
 
-func (t *channelTransport) Receive(r int) <-chan Pair { return t.chans[r] }
-func (t *channelTransport) BytesSent() int64          { return t.bytes.Load() }
-func (t *channelTransport) Close() error              { return nil }
+func (t *channelTransport) Receive(r int) <-chan []Pair { return t.chans[r] }
+func (t *channelTransport) BytesSent() int64            { return t.bytes.Load() }
+func (t *channelTransport) BatchesSent() int64          { return t.batches.Load() }
+func (t *channelTransport) Close() error                { return nil }

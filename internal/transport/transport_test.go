@@ -32,8 +32,10 @@ func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper i
 		recvWG.Add(1)
 		go func() {
 			defer recvWG.Done()
-			for p := range tr.Receive(r) {
-				received[r] = append(received[r], p.Key+"="+string(p.Value))
+			for ps := range tr.Receive(r) {
+				for _, p := range ps {
+					received[r] = append(received[r], p.Key+"="+string(p.Value))
+				}
 			}
 		}()
 	}
@@ -199,8 +201,10 @@ func TestTCPConcurrentSendersInterleave(t *testing.T) {
 	recvWG.Add(1)
 	go func() {
 		defer recvWG.Done()
-		for p := range tr.Receive(0) {
-			seen[string(p.Value)]++
+		for ps := range tr.Receive(0) {
+			for _, p := range ps {
+				seen[string(p.Value)]++
+			}
 		}
 	}()
 	var wg sync.WaitGroup
