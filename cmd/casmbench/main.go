@@ -4,91 +4,137 @@
 //	casmbench                 # all panels at the default scale
 //	casmbench -panel c        # one panel
 //	casmbench -scale 2.5      # larger datasets
+//	casmbench -json           # machine-readable snapshot on stdout
+//	casmbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Panels execute real engine runs; the reported numbers are simulated
 // response times on the paper's 100-machine cluster (see DESIGN.md for
 // the substitution rationale). EXPERIMENTS.md records the paper-vs-
-// reproduced comparison for each panel.
+// reproduced comparison for each panel. The -json snapshot carries the
+// raw panel data plus run metadata, so CI can archive comparable
+// baselines across commits (see BENCH_PR2.json for the current one).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"github.com/casm-project/casm/internal/figures"
 )
 
+// snapshot is the -json output document.
+type snapshot struct {
+	Scale       float64                `json:"scale"`
+	Seed        int64                  `json:"seed"`
+	GoVersion   string                 `json:"go_version"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	GeneratedAt string                 `json:"generated_at"`
+	Panels      map[string]panelResult `json:"panels"`
+}
+
+type panelResult struct {
+	Title       string  `json:"title"`
+	RealSeconds float64 `json:"real_seconds"`
+	// Data is the panel's raw result struct (figures.PanelA–PanelF).
+	Data any `json:"data"`
+}
+
 func main() {
 	var (
-		panel = flag.String("panel", "all", "panel to run: a|b|c|d|e|f|all")
-		scale = flag.Float64("scale", 1.0, "dataset scale multiplier")
-		seed  = flag.Int64("seed", 1, "data generation seed")
+		panel      = flag.String("panel", "all", "panel to run: a|b|c|d|e|f|all")
+		scale      = flag.Float64("scale", 1.0, "dataset scale multiplier")
+		seed       = flag.Int64("seed", 1, "data generation seed")
+		asJSON     = flag.Bool("json", false, "emit a machine-readable JSON snapshot instead of tables")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
-
-	cfg := figures.Config{Scale: *scale, Seed: *seed, TempDir: os.TempDir()}
-	run := func(name string, f func(figures.Config) (fmt.Stringer, error)) {
-		if *panel != "all" && *panel != name {
-			return
-		}
-		start := time.Now()
-		t, err := f(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "casmbench: panel %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Print(t.String())
-		fmt.Printf("(panel %s regenerated in %.1fs real time)\n\n", name, time.Since(start).Seconds())
-	}
-
-	run("a", func(c figures.Config) (fmt.Stringer, error) {
-		p, err := figures.Fig4a(c)
-		if err != nil {
-			return nil, err
-		}
-		return p.Table(), nil
-	})
-	run("b", func(c figures.Config) (fmt.Stringer, error) {
-		p, err := figures.Fig4b(c)
-		if err != nil {
-			return nil, err
-		}
-		return p.Table(), nil
-	})
-	run("c", func(c figures.Config) (fmt.Stringer, error) {
-		p, err := figures.Fig4c(c)
-		if err != nil {
-			return nil, err
-		}
-		return p.Table(), nil
-	})
-	run("d", func(c figures.Config) (fmt.Stringer, error) {
-		p, err := figures.Fig4d(c)
-		if err != nil {
-			return nil, err
-		}
-		return p.Table(), nil
-	})
-	run("e", func(c figures.Config) (fmt.Stringer, error) {
-		p, err := figures.Fig4e(c)
-		if err != nil {
-			return nil, err
-		}
-		return p.Table(), nil
-	})
-	run("f", func(c figures.Config) (fmt.Stringer, error) {
-		p, err := figures.Fig4f(c)
-		if err != nil {
-			return nil, err
-		}
-		return p.Table(), nil
-	})
 
 	if !strings.Contains("abcdef all", *panel) {
 		fmt.Fprintf(os.Stderr, "casmbench: unknown panel %q\n", *panel)
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casmbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "casmbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := figures.Config{Scale: *scale, Seed: *seed, TempDir: os.TempDir()}
+	snap := snapshot{
+		Scale:       *scale,
+		Seed:        *seed,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Panels:      map[string]panelResult{},
+	}
+
+	type tabler interface{ Table() figures.Table }
+	run := func(name string, f func(figures.Config) (tabler, error)) {
+		if *panel != "all" && *panel != name {
+			return
+		}
+		start := time.Now()
+		p, err := f(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casmbench: panel %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Seconds()
+		t := p.Table()
+		if *asJSON {
+			snap.Panels[name] = panelResult{Title: t.Title, RealSeconds: elapsed, Data: p}
+			return
+		}
+		fmt.Print(t.String())
+		fmt.Printf("(panel %s regenerated in %.1fs real time)\n\n", name, elapsed)
+	}
+
+	run("a", func(c figures.Config) (tabler, error) { return figures.Fig4a(c) })
+	run("b", func(c figures.Config) (tabler, error) { return figures.Fig4b(c) })
+	run("c", func(c figures.Config) (tabler, error) { return figures.Fig4c(c) })
+	run("d", func(c figures.Config) (tabler, error) { return figures.Fig4d(c) })
+	run("e", func(c figures.Config) (tabler, error) { return figures.Fig4e(c) })
+	run("f", func(c figures.Config) (tabler, error) { return figures.Fig4f(c) })
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintf(os.Stderr, "casmbench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casmbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "casmbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

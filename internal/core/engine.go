@@ -93,6 +93,12 @@ type Config struct {
 	// SortMode selects two-pass vs combined-key sorting (default two-pass,
 	// matching the paper's unmodified MapReduce).
 	SortMode SortMode
+	// GroupMode selects the reducer's grouping strategy (default
+	// mr.GroupAuto: hash grouping for plain block grouping and early
+	// aggregation, sorted grouping for CombinedKeySort). mr.GroupHash is
+	// rejected with CombinedKeySort — the combined key's secondary order
+	// needs the sorted path.
+	GroupMode mr.GroupMode
 	// LocalScan selects the local evaluator's group-construction strategy
 	// (default hash; localeval.ChainScan streams contiguous groups off a
 	// grain-derived sort order, closer to [4]'s single sort+scan). Chain

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/workload"
+)
+
+// canonicalOutput serializes a result's measure records exactly — region
+// coordinates plus the raw float bits — so two runs can be compared for
+// byte-identical output, not just approximate equality.
+func canonicalOutput(res *Result) string {
+	names := make([]string, 0, len(res.Measures))
+	for name := range res.Measures {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		sb.WriteString(name)
+		sb.WriteByte('\n')
+		for _, m := range res.Measures[name] {
+			fmt.Fprintf(&sb, "  %x %016x\n", cube.EncodeCoords(m.Region.Coord), math.Float64bits(m.Value))
+		}
+	}
+	return sb.String()
+}
+
+// TestHashGroupingMatchesSortedByteIdentical is the grouping-mode property
+// test: for random workflows, datasets, and engine knobs, the hash-grouped
+// reduce path must produce byte-identical measure output to the external
+// sorted path — with a roomy in-memory budget and with a tiny one that
+// forces the hash table through its spill fallback.
+func TestHashGroupingMatchesSortedByteIdentical(t *testing.T) {
+	su := workload.NewSuite()
+	seeds := 10
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(3000 + seed)))
+			w := randomWorkflow(t, su.Schema, rng)
+			dist := workload.Uniform
+			if rng.Intn(3) == 0 {
+				dist = workload.SkewedTime
+			}
+			records := su.Generate(400+rng.Intn(1200), dist, int64(seed))
+			ds := MemoryDataset(su.Schema, records, 1+rng.Intn(6))
+			base := Config{
+				NumReducers:      1 + rng.Intn(6),
+				EarlyAggregation: EarlyAggAuto,
+			}
+			want := oracle(t, w, records)
+			for _, memItems := range []int{0, 2} { // 0 = default budget; 2 forces spills
+				cfgSort := base
+				cfgSort.GroupMode = mr.GroupSort
+				cfgSort.SortMemoryItems = memItems
+				cfgHash := base
+				cfgHash.GroupMode = mr.GroupHash
+				cfgHash.SortMemoryItems = memItems
+				resSort := runEngine(t, cfgSort, w, ds)
+				resHash := runEngine(t, cfgHash, w, ds)
+
+				label := fmt.Sprintf("seed %d mem %d", seed, memItems)
+				if got, wantOut := canonicalOutput(resHash), canonicalOutput(resSort); got != wantOut {
+					t.Errorf("%s: hash output differs from sorted output\nhash:\n%s\nsorted:\n%s", label, got, wantOut)
+				}
+				// Both paths must also still match the single-block oracle.
+				compare(t, label+" sorted", want, flatten(resSort))
+				compare(t, label+" hash", want, flatten(resHash))
+
+				// The modes must really have been exercised.
+				var hashGroups, spills, bigReducers int64
+				for _, rt := range resHash.Stats.ReduceTasks {
+					hashGroups += rt.HashGroups
+					spills += rt.GroupSpills
+					if rt.PairsIn > 2 {
+						bigReducers++
+					}
+				}
+				if hashGroups == 0 {
+					t.Errorf("%s: hash run reported no HashGroups", label)
+				}
+				if memItems == 2 && bigReducers > 0 && spills == 0 {
+					t.Errorf("%s: forced-spill hash run reported no GroupSpills", label)
+				}
+				for _, rt := range resSort.Stats.ReduceTasks {
+					if rt.HashGroups != 0 {
+						t.Errorf("%s: sorted run reported HashGroups=%d", label, rt.HashGroups)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGroupHashRejectedWithCombinedKeySort pins the validation: the
+// combined key's secondary order needs the sorted path.
+func TestGroupHashRejectedWithCombinedKeySort(t *testing.T) {
+	su := workload.NewSuite()
+	records := su.Generate(200, workload.Uniform, 1)
+	ds := MemoryDataset(su.Schema, records, 2)
+	w, err := su.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		NumReducers: 2,
+		SortMode:    CombinedKeySort,
+		GroupMode:   mr.GroupHash,
+		TempDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(w, ds); err == nil {
+		t.Fatal("GroupHash with CombinedKeySort unexpectedly succeeded")
+	}
+}

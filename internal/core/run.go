@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -191,24 +192,29 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 	arity := s.NumAttrs()
 	basics := w.Basics()
 
+	// Each map and reduce task gets its own distkey.Session: the scratch
+	// buffers and the block-key intern cache that turn per-record key
+	// generation (and the reduce-side ownership filter) allocation-free.
+	newSession := func(st *mr.TaskStats) any { return bm.NewSession() }
+
 	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
+		sess := ctx.Local.(*distkey.Session)
 		rec := getRecordBuf(arity)
 		defer putRecordBuf(rec)
 		if err := recio.DecodeRecordInto(raw, rec); err != nil {
 			return err
 		}
-		var emitErr error
-		bm.BlocksFor(rec, func(block string) {
-			if emitErr != nil {
-				return
-			}
+		for _, block := range sess.Blocks(rec) {
 			key := block
 			if combined {
 				key = block + string(raw)
 			}
-			emitErr = ctx.Emit(key, raw)
-		})
-		return emitErr
+			if err := ctx.Emit(key, raw); err != nil {
+				return err
+			}
+		}
+		ctx.Stats.KeyCacheHits = sess.Hits
+		return nil
 	}
 
 	var combinerFactory mr.CombinerFactory
@@ -264,16 +270,30 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		ctx.Stats.GroupSortItems += est.SortedItems
 		// Ownership filter (Section III-B.2): only the block owning a
 		// result's region may output it; duplicated and partial results in
-		// overlapping neighbours are dropped here.
+		// overlapping neighbours are dropped here. The task session's
+		// intern cache makes each Owner probe allocation-free.
+		sess := ctx.Local.(*distkey.Session)
 		for _, r := range results {
-			if bm.Owner(r.Region) != blockKey {
+			if sess.Owner(r.Region) != blockKey {
 				continue
 			}
 			ctx.Emit(r.Measure, encodeMeasureRecord(r.Region.Coord, r.Value))
 		}
+		ctx.Stats.KeyCacheHits = sess.Hits
 		return nil
 	}
 
+	// Grouping mode: block grouping and early aggregation only need pairs
+	// grouped by block, so GroupAuto resolves to the hash collector; the
+	// combined-key sort genuinely needs the full-key order and keeps the
+	// external sorter (its composite keys also make GroupBy non-trivial).
+	groupMode := e.cfg.GroupMode
+	if combined {
+		if groupMode == mr.GroupHash {
+			return nil, fmt.Errorf("core: GroupHash is incompatible with CombinedKeySort (the combined key's secondary order needs the sorted path)")
+		}
+		groupMode = mr.GroupSort
+	}
 	job := mr.Job{
 		Name:   "casm",
 		Input:  ds.Input,
@@ -286,16 +306,16 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 			Transport:         e.cfg.Transport,
 			NewCombiner:       combinerFactory,
 			ShuffleDisabled:   e.cfg.Stage == StageMapOnly,
+			GroupMode:         groupMode,
 			SortMemoryItems:   e.cfg.SortMemoryItems,
 			TempDir:           e.cfg.TempDir,
-			GroupBy: func(key string) string {
-				if !combined {
-					return key
-				}
-				return blockPrefix(key, arity)
-			},
-			FailureInjector: e.cfg.FailureInjector,
+			NewMapLocal:       newSession,
+			NewReduceLocal:    newSession,
+			FailureInjector:   e.cfg.FailureInjector,
 		},
+	}
+	if combined {
+		job.Config.GroupBy = func(key string) string { return blockPrefix(key, arity) }
 	}
 	if e.cfg.Stage == StageMapOnly {
 		job.Reduce = nil
@@ -327,10 +347,13 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 			Value:  v,
 		})
 	}
+	var ea, eb []byte // reused encode scratch for the output sort
 	for name := range out.Measures {
 		ms := out.Measures[name]
 		sort.Slice(ms, func(i, j int) bool {
-			return cube.EncodeCoords(ms[i].Region.Coord) < cube.EncodeCoords(ms[j].Region.Coord)
+			ea = cube.AppendCoords(ea[:0], ms[i].Region.Coord)
+			eb = cube.AppendCoords(eb[:0], ms[j].Region.Coord)
+			return bytes.Compare(ea, eb) < 0
 		})
 	}
 	out.Estimate = EstimateFromStats(e.cfg.Cluster, res.Stats)
@@ -421,9 +444,10 @@ type earlyAggCombiner struct {
 	blocks map[string]*blockPartials
 	groups int // total aggregator groups across blocks (= Len)
 
-	// Reused per-Add decode buffers.
+	// Reused per-Add decode/encode buffers.
 	rec   cube.Record
 	coord []int64
+	enc   []byte
 }
 
 type blockPartials struct {
@@ -459,11 +483,13 @@ func (c *earlyAggCombiner) Add(blockKey string, raw []byte) error {
 	}
 	for i, b := range c.basics {
 		c.s.CoordOf(c.rec, b.Grain, c.coord)
-		k := cube.EncodeCoords(c.coord)
-		g, ok := bp.perBasic[i][k]
+		// Alloc-free lookup via the compiler's map[string][]byte-key
+		// optimization; the key string is only materialized on first sight.
+		c.enc = cube.AppendCoords(c.enc[:0], c.coord)
+		g, ok := bp.perBasic[i][string(c.enc)]
 		if !ok {
 			g = &partialGroup{coords: append([]int64(nil), c.coord...), agg: b.Agg.New()}
-			bp.perBasic[i][k] = g
+			bp.perBasic[i][string(c.enc)] = g
 			c.groups++
 		} else {
 			c.st.CombineMerges++
@@ -498,8 +524,9 @@ func (c *earlyAggCombiner) Flush(emit func(key string, value []byte) error) erro
 			for _, rk := range regionKeys {
 				g := bp.perBasic[i][rk]
 				// The emitted value is retained by the shuffle until the
-				// job ends, so it gets its own allocation.
-				if err := emit(bk, appendPartial(nil, i, g.coords, g.agg.State())); err != nil {
+				// job ends, so it gets its own allocation; the map key rk
+				// already IS the encoded region coordinate.
+				if err := emit(bk, appendPartial(nil, i, rk, g.agg.State())); err != nil {
 					return err
 				}
 			}
@@ -510,17 +537,19 @@ func (c *earlyAggCombiner) Flush(emit func(key string, value []byte) error) erro
 	return nil
 }
 
-// appendPartial appends a tagged partial-state payload to dst.
-func appendPartial(dst []byte, basicIdx int, coords []int64, state []byte) []byte {
+// appendPartial appends a tagged partial-state payload to dst. ck is the
+// EncodeCoords form of the region coordinates.
+func appendPartial(dst []byte, basicIdx int, ck string, state []byte) []byte {
 	dst = append(dst, partialTag)
 	dst = binary.AppendUvarint(dst, uint64(basicIdx))
-	ck := cube.EncodeCoords(coords)
 	dst = binary.AppendUvarint(dst, uint64(len(ck)))
 	dst = append(dst, ck...)
 	return append(dst, state...)
 }
 
-func decodePartial(b []byte, arity int) (int, []int64, []byte, error) {
+// splitPartial slices a partial payload into its parts without decoding
+// the coordinates; ck and state alias b.
+func splitPartial(b []byte) (int, []byte, []byte, error) {
 	if len(b) < 2 || b[0] != partialTag {
 		return 0, nil, nil, fmt.Errorf("core: not a partial payload")
 	}
@@ -535,11 +564,19 @@ func decodePartial(b []byte, arity int) (int, []int64, []byte, error) {
 		return 0, nil, nil, fmt.Errorf("core: corrupt partial coords")
 	}
 	b = b[n:]
-	coords, err := cube.DecodeCoords(string(b[:ckLen]), arity)
+	return int(idx), b[:ckLen], b[ckLen:], nil
+}
+
+func decodePartial(b []byte, arity int) (int, []int64, []byte, error) {
+	idx, ck, state, err := splitPartial(b)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	return int(idx), coords, b[ckLen:], nil
+	coords, err := cube.DecodeCoords(string(ck), arity)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return idx, coords, state, nil
 }
 
 // collectRecords materializes a group's raw records.
@@ -581,18 +618,23 @@ func collectPartials(values *mr.GroupIter, basics []*workflow.Measure, arity int
 			break
 		}
 		pairs++
-		idx, coords, state, err := decodePartial(p.Value, arity)
+		idx, ck, state, err := splitPartial(p.Value)
 		if err != nil {
 			return nil, 0, err
 		}
 		if idx < 0 || idx >= len(basics) {
 			return nil, 0, fmt.Errorf("core: partial for unknown basic %d", idx)
 		}
-		k := cube.EncodeCoords(coords)
-		g, okg := perBasic[idx][k]
+		// The payload's encoded coordinate bytes double as the map key
+		// (alloc-free probe); coordinates are only decoded on first sight.
+		g, okg := perBasic[idx][string(ck)]
 		if !okg {
+			coords, err := cube.DecodeCoords(string(ck), arity)
+			if err != nil {
+				return nil, 0, err
+			}
 			g = &group{coords: coords, agg: basics[idx].Agg.New()}
-			perBasic[idx][k] = g
+			perBasic[idx][string(ck)] = g
 		}
 		if err := g.agg.MergeState(state); err != nil {
 			return nil, 0, err

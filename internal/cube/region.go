@@ -71,16 +71,24 @@ func (s *Schema) ContainsRegion(r, child Region) bool {
 	return true
 }
 
-// EncodeCoords packs coordinates into a compact string usable as a map
-// key. Coordinates are non-negative, so varint encoding is unambiguous.
-func EncodeCoords(coord []int64) string {
-	buf := make([]byte, 0, len(coord)*3)
+// AppendCoords appends the compact varint encoding of coord to dst and
+// returns the extended slice. It is the allocation-free (append-style)
+// form of EncodeCoords: hot paths encode into a reused scratch buffer and
+// use the string([]byte) map-lookup optimization to avoid materializing a
+// string per record.
+func AppendCoords(dst []byte, coord []int64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 	for _, c := range coord {
 		n := binary.PutUvarint(tmp[:], uint64(c))
-		buf = append(buf, tmp[:n]...)
+		dst = append(dst, tmp[:n]...)
 	}
-	return string(buf)
+	return dst
+}
+
+// EncodeCoords packs coordinates into a compact string usable as a map
+// key. Coordinates are non-negative, so varint encoding is unambiguous.
+func EncodeCoords(coord []int64) string {
+	return string(AppendCoords(make([]byte, 0, len(coord)*3), coord))
 }
 
 // DecodeCoords reverses EncodeCoords given the expected arity.

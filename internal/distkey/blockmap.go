@@ -118,15 +118,118 @@ func (bm *BlockMapper) blockCoord(src, dst []int64) {
 // record's home block (the one whose key is "generated without being
 // adjusted with a delta value"); overlapping plans may emit further
 // neighbouring blocks.
+//
+// This convenience form allocates scratch per call; hot loops should hold
+// a Session and use Session.Blocks instead.
 func (bm *BlockMapper) BlocksFor(rec cube.Record, emit func(blockKey string)) {
-	coord := make([]int64, bm.schema.NumAttrs())
-	bm.schema.CoordOf(rec, bm.key.Grain, coord)
-	block := make([]int64, len(coord))
-	bm.blockCoord(coord, block)
-	home := cube.EncodeCoords(block)
-	emit(home)
+	ss := bm.NewSession()
+	for _, k := range ss.Blocks(rec) {
+		emit(k)
+	}
+}
+
+// Owner returns the block key of the unique block allowed to output a
+// measure record whose region is r. The region's grain must be at least
+// as fine as the key's grain on every attribute (guaranteed for feasible
+// keys, which generalize every measure grain). Allocating form of
+// Session.Owner.
+func (bm *BlockMapper) Owner(r cube.Region) string {
+	return bm.NewSession().Owner(r)
+}
+
+// HomeBlock returns the block key of rec's home block (no delta
+// adjustment), used by the non-overlapping fast path and by tests.
+// Allocating form of Session.HomeBlock.
+func (bm *BlockMapper) HomeBlock(rec cube.Record) string {
+	return bm.NewSession().HomeBlock(rec)
+}
+
+// maxInterned bounds a session's intern cache. A mapper task normally
+// touches far fewer distinct blocks than this; the bound only guards
+// pathological plans (huge block counts with adversarial record order)
+// from growing the cache without limit. On overflow the cache is reset
+// wholesale — correctness is unaffected, later keys just re-allocate.
+const maxInterned = 1 << 17
+
+// Session is the per-task scratch state for one BlockMapper user: the
+// coordinate/block buffers that BlocksFor, Owner and HomeBlock would
+// otherwise allocate per call, plus an intern cache of block-key strings.
+// Records arrive clustered in practice, so a last-block fast path and a
+// small map keyed by the encoded block coordinates turn the per-record
+// EncodeCoords string allocation into a cache hit.
+//
+// Interning contract: the returned key strings are SHARED across calls
+// (and with every other consumer of the same session) — callers must
+// treat them as immutable values and must never assume a fresh allocation.
+// A Session is single-goroutine; the BlockMapper itself stays read-only
+// and may be shared by any number of sessions.
+type Session struct {
+	bm *BlockMapper
+
+	coord, block []int64
+	los, his     []int64
+	keys         []string // reused Blocks output slice
+	enc          []byte   // reused block-coord encode buffer
+	lastKey      string   // intern fast path: key of the last encoded block
+	interned     map[string]string
+
+	// Hits counts intern-cache hits (last-block fast path included);
+	// Misses counts keys that had to be allocated. The engine surfaces
+	// Hits as TaskStats.KeyCacheHits.
+	Hits, Misses int64
+}
+
+// NewSession returns fresh per-task scratch state for bm.
+func (bm *BlockMapper) NewSession() *Session {
+	n := bm.schema.NumAttrs()
+	return &Session{
+		bm:       bm,
+		coord:    make([]int64, n),
+		block:    make([]int64, n),
+		los:      make([]int64, len(bm.annAttrs)),
+		his:      make([]int64, len(bm.annAttrs)),
+		enc:      make([]byte, 0, n*3),
+		interned: make(map[string]string),
+	}
+}
+
+// intern returns the canonical key string for the block coordinates in
+// ss.block, allocating only on first sight.
+func (ss *Session) intern() string {
+	ss.enc = cube.AppendCoords(ss.enc[:0], ss.block)
+	// Last-block fast path: consecutive records overwhelmingly map to the
+	// same block when the data is clustered along the annotated attribute.
+	if string(ss.enc) == ss.lastKey && ss.lastKey != "" {
+		ss.Hits++
+		return ss.lastKey
+	}
+	if k, ok := ss.interned[string(ss.enc)]; ok {
+		ss.Hits++
+		ss.lastKey = k
+		return k
+	}
+	if len(ss.interned) >= maxInterned {
+		clear(ss.interned)
+	}
+	k := string(ss.enc)
+	ss.interned[k] = k
+	ss.Misses++
+	ss.lastKey = k
+	return k
+}
+
+// Blocks returns the block keys record rec must be dispatched to, home
+// block first (the semantics of BlockMapper.BlocksFor). The returned
+// slice is reused by the next Blocks call; the key strings are interned
+// and stay valid for the session's lifetime.
+func (ss *Session) Blocks(rec cube.Record) []string {
+	bm := ss.bm
+	bm.schema.CoordOf(rec, bm.key.Grain, ss.coord)
+	bm.blockCoord(ss.coord, ss.block)
+	home := ss.intern()
+	ss.keys = append(ss.keys[:0], home)
 	if len(bm.annAttrs) == 0 {
-		return
+		return ss.keys
 	}
 	// Per annotated attribute X with annotation (Low, High): the record
 	// at key coordinate t is input to output regions at key coordinates
@@ -134,11 +237,9 @@ func (bm *BlockMapper) BlocksFor(rec cube.Record, emit func(blockKey string)) {
 	// covering those outputs form the per-attribute range below. The
 	// record goes to the cross product of the ranges, skipping the home
 	// block (already emitted).
-	los := make([]int64, len(bm.annAttrs))
-	his := make([]int64, len(bm.annAttrs))
 	for i, x := range bm.annAttrs {
 		ann := bm.key.Anns[x]
-		t := coord[x]
+		t := ss.coord[x]
 		lo, hi := t-ann.High, t-ann.Low
 		if lo < 0 {
 			lo = 0
@@ -149,47 +250,51 @@ func (bm *BlockMapper) BlocksFor(rec cube.Record, emit func(blockKey string)) {
 		if lo > hi {
 			// No valid output coordinate along this attribute: the record
 			// contributes to nothing beyond its home block.
-			return
+			return ss.keys
 		}
-		los[i], his[i] = floorDiv(lo, bm.cf), floorDiv(hi, bm.cf)
+		ss.los[i], ss.his[i] = floorDiv(lo, bm.cf), floorDiv(hi, bm.cf)
 	}
-	var walk func(i int)
-	walk = func(i int) {
-		if i == len(bm.annAttrs) {
-			k := cube.EncodeCoords(block)
-			if k != home {
-				emit(k)
+	// Odometer walk over the cross product of the per-attribute ranges
+	// (last annotated attribute varies fastest, matching the recursive
+	// enumeration this replaces), skipping the home block.
+	for i, x := range bm.annAttrs {
+		ss.block[x] = ss.los[i]
+	}
+	for {
+		if k := ss.intern(); k != home {
+			ss.keys = append(ss.keys, k)
+		}
+		i := len(bm.annAttrs) - 1
+		for ; i >= 0; i-- {
+			x := bm.annAttrs[i]
+			if ss.block[x] < ss.his[i] {
+				ss.block[x]++
+				break
 			}
-			return
+			ss.block[x] = ss.los[i]
 		}
-		for b := los[i]; b <= his[i]; b++ {
-			block[bm.annAttrs[i]] = b
-			walk(i + 1)
+		if i < 0 {
+			return ss.keys
 		}
 	}
-	walk(0)
 }
 
-// Owner returns the block key of the unique block allowed to output a
-// measure record whose region is r. The region's grain must be at least
-// as fine as the key's grain on every attribute (guaranteed for feasible
-// keys, which generalize every measure grain).
-func (bm *BlockMapper) Owner(r cube.Region) string {
-	coord := make([]int64, bm.schema.NumAttrs())
-	for i := range coord {
-		coord[i] = bm.schema.Attr(i).RollBetween(r.Coord[i], r.Grain[i], bm.key.Grain[i])
+// Owner is the allocation-free form of BlockMapper.Owner: the returned
+// key is interned in the session's cache (the reduce-side ownership
+// filter probes the same few block keys over and over).
+func (ss *Session) Owner(r cube.Region) string {
+	bm := ss.bm
+	for i := range ss.coord {
+		ss.coord[i] = bm.schema.Attr(i).RollBetween(r.Coord[i], r.Grain[i], bm.key.Grain[i])
 	}
-	block := make([]int64, len(coord))
-	bm.blockCoord(coord, block)
-	return cube.EncodeCoords(block)
+	bm.blockCoord(ss.coord, ss.block)
+	return ss.intern()
 }
 
-// HomeBlock returns the block key of rec's home block (no delta
-// adjustment), used by the non-overlapping fast path and by tests.
-func (bm *BlockMapper) HomeBlock(rec cube.Record) string {
-	coord := make([]int64, bm.schema.NumAttrs())
-	bm.schema.CoordOf(rec, bm.key.Grain, coord)
-	block := make([]int64, len(coord))
-	bm.blockCoord(coord, block)
-	return cube.EncodeCoords(block)
+// HomeBlock is the allocation-free form of BlockMapper.HomeBlock.
+func (ss *Session) HomeBlock(rec cube.Record) string {
+	bm := ss.bm
+	bm.schema.CoordOf(rec, bm.key.Grain, ss.coord)
+	bm.blockCoord(ss.coord, ss.block)
+	return ss.intern()
 }

@@ -302,3 +302,102 @@ func TestMultiAnnotationCoverageProperty(t *testing.T) {
 		t.Errorf("NumBlocks = %d, want 18", got)
 	}
 }
+
+// TestSessionMatchesPerCall pins the session refactor: a single Session
+// reused across a whole record stream must produce exactly the key
+// sequences of the allocating per-call forms, for plain, single- and
+// multi-annotated keys, clustered or not — the intern cache and scratch
+// reuse must never leak state between calls.
+func TestSessionMatchesPerCall(t *testing.T) {
+	s := blockSchema(t)
+	ti, _ := s.AttrIndex("t")
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		ann  Ann
+		cf   int64
+	}{
+		{"plain", Ann{}, 1},
+		{"overlap", Ann{Low: -5, High: 1}, 1},
+		{"overlap_clustered", Ann{Low: -9, High: 0}, 7},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			key := FromGrain(s.MustGrain(cube.GrainSpec{Attr: "k", Level: "group"}, cube.GrainSpec{Attr: "t", Level: "hour"}))
+			key.Anns[ti] = c.ann
+			bm, err := NewBlockMapper(s, key, c.cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := bm.NewSession()
+			distinct := map[string]bool{}
+			var interns int64
+			for i := 0; i < 500; i++ {
+				rec := cube.Record{rng.Int63n(100), rng.Int63n(4 * 86400)}
+				var want []string
+				bm.BlocksFor(rec, func(b string) { want = append(want, b) })
+				got := ss.Blocks(rec)
+				if len(got) != len(want) {
+					t.Fatalf("record %d: session emitted %d blocks, per-call %d", i, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("record %d block %d: session %q, per-call %q", i, j, got[j], want[j])
+					}
+					distinct[got[j]] = true
+				}
+				interns += int64(len(got))
+				if h, w := ss.HomeBlock(rec), bm.HomeBlock(rec); h != w {
+					t.Fatalf("record %d: session home %q, per-call %q", i, h, w)
+				}
+				interns++
+				r := s.RegionOf(rec, key.Grain)
+				if o, w := ss.Owner(r), bm.Owner(r); o != w {
+					t.Fatalf("record %d: session owner %q, per-call %q", i, o, w)
+				}
+				interns++
+			}
+			// Accounting: misses happen exactly once per distinct key (no
+			// cache overflow here), and the cache absorbs at least every
+			// emitted key beyond first sight (Blocks interns the home block
+			// once more than it emits, so hits can exceed emitted-minus-new).
+			if ss.Misses != int64(len(distinct)) {
+				t.Errorf("misses = %d, want one per distinct key %d", ss.Misses, len(distinct))
+			}
+			if ss.Hits < interns-ss.Misses-int64(len(distinct)) {
+				t.Errorf("hits = %d, implausibly few for %d intern calls over %d keys", ss.Hits, interns, len(distinct))
+			}
+		})
+	}
+}
+
+// TestSessionKeysStayValid pins the interning contract: keys returned by
+// earlier Blocks calls must stay valid (the returned slice is reused, but
+// the strings are interned for the session's lifetime).
+func TestSessionKeysStayValid(t *testing.T) {
+	s := blockSchema(t)
+	ti, _ := s.AttrIndex("t")
+	key := FromGrain(s.MustGrain(cube.GrainSpec{Attr: "k", Level: "group"}, cube.GrainSpec{Attr: "t", Level: "hour"}))
+	key.Anns[ti] = Ann{Low: -3, High: 0}
+	bm, err := NewBlockMapper(s, key, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := bm.NewSession()
+	rng := rand.New(rand.NewSource(6))
+	recs := make([]cube.Record, 300)
+	saved := make([][]string, len(recs))
+	for i := range recs {
+		recs[i] = cube.Record{rng.Int63n(100), rng.Int63n(4 * 86400)}
+		saved[i] = append([]string(nil), ss.Blocks(recs[i])...)
+	}
+	for i, rec := range recs {
+		var want []string
+		bm.BlocksFor(rec, func(b string) { want = append(want, b) })
+		for j := range want {
+			if saved[i][j] != want[j] {
+				t.Fatalf("record %d block %d changed after later session use", i, j)
+			}
+		}
+	}
+}

@@ -78,6 +78,7 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.BatchesSent *= rep
 		t.CombineInputs *= rep
 		t.CombineMerges *= rep
+		t.KeyCacheHits *= rep
 		out.MapTasks = append(out.MapTasks, t)
 	}
 	for _, t := range js.ReduceTasks {
@@ -86,6 +87,10 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.SortItems *= rep
 		t.SpillBytes *= rep
 		t.SortAllocsSaved *= rep
+		t.SpillRuns *= rep
+		t.KeyCacheHits *= rep
+		t.HashGroups *= rep
+		t.GroupSpills *= rep
 		t.GroupSortItems *= rep
 		t.GroupSpillBytes *= rep
 		t.EvalRecords *= rep

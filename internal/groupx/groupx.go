@@ -1,0 +1,217 @@
+// Package groupx collects a reducer's shuffled pairs and hands them back
+// grouped. Two collectors implement the same Collector interface:
+//
+//   - the sort collector drains everything through a sortx external sort
+//     (the classic Hadoop shape the paper assumes: "reducers collect
+//     pairs and use external sorting to group pairs with the same key
+//     value"), which a composite shuffle key needs because its suffix
+//     carries a secondary order;
+//   - the hash collector groups by hash instead (Leis et al.'s morsel
+//     partitioned grouping, the Hespe et al. in-memory OLAP shape): when
+//     reduce only needs pairs *grouped* — block grouping, early
+//     aggregation — no total order is required, so pairs go straight
+//     into a group → pairs table and the per-item comparison sort
+//     disappears. When the buffered-pair budget is exceeded the table is
+//     flushed into sorted runs and the collector degrades to exactly the
+//     external-sort path, so memory stays bounded and the output stream
+//     (groups ascending by key) is identical either way.
+//
+// Both collectors are single-goroutine: Add all pairs, then Iterate once.
+package groupx
+
+import (
+	"slices"
+	"strings"
+
+	"github.com/casm-project/casm/internal/sortx"
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// Stats reports a collector's work, feeding TaskStats and the cost model.
+type Stats struct {
+	Items        int64 // pairs added
+	Groups       int64 // distinct resident groups (hash collector; 0 sorted)
+	Spills       int64 // hash-table flushes into the sorted-run fallback
+	Runs         int   // spilled run files
+	SpilledBytes int64 // bytes written to spill runs
+	AllocsSaved  int64 // encode/decode ops served by reused buffers
+}
+
+// Iterator yields a collector's pairs, grouped, in ascending group-key
+// order. A pair's Value is only guaranteed valid until the following Next
+// call (spilled pairs alias reused read buffers — the sortx contract).
+type Iterator interface {
+	Next() (transport.Pair, bool, error)
+	Close()
+}
+
+// Collector accumulates shuffled pairs and yields them grouped.
+type Collector interface {
+	Add(p transport.Pair) error
+	// Iterate finalizes the collector; it cannot be reused afterwards.
+	Iterate() (Iterator, error)
+	Stats() Stats
+}
+
+// PairKeyCompare orders pairs by their full shuffle key, the comparison
+// both collectors spill and merge under.
+func PairKeyCompare(a, b transport.Pair) int { return strings.Compare(a.Key, b.Key) }
+
+// --- sorted path ---
+
+type sortCollector struct {
+	s *sortx.Sorter[transport.Pair]
+}
+
+// NewSort returns the external-sort collector: pairs come back in full
+// shuffle-key order, which both groups them and realizes a composite
+// key's secondary sort.
+func NewSort(codec sortx.Codec[transport.Pair], dir string, memItems int) Collector {
+	return &sortCollector{s: sortx.New(PairKeyCompare, codec, dir, memItems)}
+}
+
+func (c *sortCollector) Add(p transport.Pair) error { return c.s.Add(p) }
+
+func (c *sortCollector) Iterate() (Iterator, error) { return c.s.Iterate() }
+
+func (c *sortCollector) Stats() Stats {
+	ss := c.s.Stats()
+	return Stats{
+		Items:        ss.Items,
+		Runs:         ss.Runs,
+		SpilledBytes: ss.SpilledBytes,
+		AllocsSaved:  ss.AllocsSaved,
+	}
+}
+
+// --- hash path ---
+
+type hashGroup struct {
+	key   string
+	pairs []transport.Pair
+}
+
+type hashCollector struct {
+	codec    sortx.Codec[transport.Pair]
+	dir      string
+	memItems int
+
+	groups   map[string]*hashGroup
+	buffered int
+	stats    Stats
+
+	// sorter is the spill fallback, created on the first flush. Flushes
+	// feed it exactly memItems pairs in (group key, arrival) order — a
+	// stable key sort of the flushed batch — so its run files are
+	// byte-identical to the ones the sorted path would have written for
+	// the same arrival sequence.
+	sorter *sortx.Sorter[transport.Pair]
+	done   bool
+}
+
+// NewHash returns the hash-grouped collector. memItems bounds the pairs
+// buffered in the table before a flush to sorted runs (< 1 = unbounded,
+// matching the sortx convention). codec and dir parameterize the spill
+// fallback.
+func NewHash(codec sortx.Codec[transport.Pair], dir string, memItems int) Collector {
+	return &hashCollector{
+		codec:    codec,
+		dir:      dir,
+		memItems: memItems,
+		groups:   make(map[string]*hashGroup),
+	}
+}
+
+func (c *hashCollector) Add(p transport.Pair) error {
+	g, ok := c.groups[p.Key]
+	if !ok {
+		// p.Key doubles as the group key: shuffle keys are interned
+		// map-side, so this retains a shared string, not a copy.
+		g = &hashGroup{key: p.Key}
+		c.groups[p.Key] = g
+		c.stats.Groups++
+	}
+	g.pairs = append(g.pairs, p)
+	c.buffered++
+	c.stats.Items++
+	if c.memItems > 0 && c.buffered >= c.memItems {
+		return c.flush()
+	}
+	return nil
+}
+
+// sortedGroups drains the table into a slice ordered by group key.
+func (c *hashCollector) sortedGroups() []*hashGroup {
+	gs := make([]*hashGroup, 0, len(c.groups))
+	for _, g := range c.groups {
+		gs = append(gs, g)
+	}
+	slices.SortFunc(gs, func(a, b *hashGroup) int { return strings.Compare(a.key, b.key) })
+	return gs
+}
+
+// flush moves every buffered pair into the spill sorter in (group key,
+// arrival) order and resets the table.
+func (c *hashCollector) flush() error {
+	if c.sorter == nil {
+		c.sorter = sortx.New(PairKeyCompare, c.codec, c.dir, c.memItems)
+	}
+	for _, g := range c.sortedGroups() {
+		for _, p := range g.pairs {
+			if err := c.sorter.Add(p); err != nil {
+				return err
+			}
+		}
+	}
+	c.stats.Spills++
+	c.groups = make(map[string]*hashGroup, len(c.groups))
+	c.buffered = 0
+	return nil
+}
+
+func (c *hashCollector) Iterate() (Iterator, error) {
+	c.done = true
+	if c.sorter != nil {
+		// Degraded mode: the residue joins the spilled runs and the
+		// whole stream comes back merge-sorted, exactly like NewSort.
+		if c.buffered > 0 {
+			if err := c.flush(); err != nil {
+				return nil, err
+			}
+			c.stats.Spills-- // the final residue flush is not a table overflow
+		}
+		return c.sorter.Iterate()
+	}
+	gs := c.sortedGroups()
+	c.groups = nil
+	gi, pi := 0, 0
+	return &memIterator{next: func() (transport.Pair, bool, error) {
+		for gi < len(gs) {
+			if g := gs[gi]; pi < len(g.pairs) {
+				p := g.pairs[pi]
+				pi++
+				return p, true, nil
+			}
+			gi, pi = gi+1, 0
+		}
+		return transport.Pair{}, false, nil
+	}}, nil
+}
+
+func (c *hashCollector) Stats() Stats {
+	st := c.stats
+	if c.sorter != nil {
+		ss := c.sorter.Stats()
+		st.Runs = ss.Runs
+		st.SpilledBytes = ss.SpilledBytes
+		st.AllocsSaved = ss.AllocsSaved
+	}
+	return st
+}
+
+type memIterator struct {
+	next func() (transport.Pair, bool, error)
+}
+
+func (it *memIterator) Next() (transport.Pair, bool, error) { return it.next() }
+func (it *memIterator) Close()                              {}

@@ -41,14 +41,17 @@ type TaskStats struct {
 	BatchesSent   int64 // shuffle batches shipped (≤ PairsOut; = PairsOut unbatched)
 	CombineInputs int64 // pairs that entered the combiner
 	CombineMerges int64 // pairs merged in place into an existing partial state
+	KeyCacheHits  int64 // shuffle keys served by the task's intern cache instead of a fresh allocation
 
 	// Reduce side.
 	PairsIn         int64
 	BytesIn         int64
-	SortItems       int64
+	SortItems       int64 // items grouped (sorted or hash-collected) reducer-side
 	SpillBytes      int64
 	SpillRuns       int64
 	SortAllocsSaved int64 // sorter encode/decode ops served by reused buffers
+	HashGroups      int64 // distinct groups resident in the hash collector (0 on the sorted path)
+	GroupSpills     int64 // hash-table flushes into the sorted-run fallback
 	GroupSortItems  int64
 	GroupSpillBytes int64
 	EvalRecords     int64
@@ -96,6 +99,11 @@ type MapCtx struct {
 	// Stats are the task's counters; map functions may bump EvalRecords
 	// etc. for engine-specific accounting.
 	Stats *TaskStats
+	// Local is per-task user state created by Config.NewMapLocal (nil
+	// otherwise): scratch buffers, key-intern caches — anything a map
+	// function needs to carry across records without sharing it between
+	// concurrently running tasks.
+	Local any
 	emit  func(key string, value []byte) error
 }
 
@@ -150,7 +158,10 @@ type CombinerFactory func(st *TaskStats) Combiner
 type ReduceCtx struct {
 	Stats   *TaskStats
 	TempDir string
-	emit    func(key string, value []byte)
+	// Local is per-task user state created by Config.NewReduceLocal (nil
+	// otherwise); see MapCtx.Local.
+	Local any
+	emit  func(key string, value []byte)
 }
 
 // Emit contributes one record to the job output. The framework takes
@@ -165,6 +176,28 @@ func (c *ReduceCtx) Emit(key string, value []byte) {
 // shuffle key (useful with a composite key); the group boundary is
 // defined by Config.GroupBy.
 type ReduceFunc func(ctx *ReduceCtx, groupKey string, values *GroupIter) error
+
+// GroupMode selects how a reducer groups its shuffled pairs.
+type GroupMode int
+
+const (
+	// GroupAuto picks hash grouping when no GroupBy is configured (every
+	// pair of a group then shares one full key, so a total order adds
+	// nothing) and sorted grouping otherwise (a composite key's suffix
+	// carries a secondary order the reduce function relies on).
+	GroupAuto GroupMode = iota
+	// GroupSort always drains the shuffle through the external sorter:
+	// groups arrive in ascending key order and pairs within a group in
+	// full-shuffle-key order.
+	GroupSort
+	// GroupHash collects pairs into a per-reducer hash table of group →
+	// pairs, spilling to sorted runs when Config.SortMemoryItems is
+	// exceeded. Groups still arrive in ascending group-key order (the
+	// table is drained sorted), but pairs within a group keep arrival
+	// order — only correct when the reduce function needs grouping, not
+	// a secondary sort.
+	GroupHash
+)
 
 // Config tunes a job run.
 type Config struct {
@@ -194,8 +227,13 @@ type Config struct {
 	// ShuffleDisabled runs the map phase only (the Figure 4(d) "Map-Only"
 	// stage): pairs are counted but not sent, and no reduce phase runs.
 	ShuffleDisabled bool
-	// SortMemoryItems bounds the reducer's in-memory sort buffer in items
-	// before spilling (default 1<<20; set small to force external sort).
+	// GroupMode selects the reducer's grouping strategy (default
+	// GroupAuto; see the GroupMode constants).
+	GroupMode GroupMode
+	// SortMemoryItems bounds the reducer's in-memory grouping buffer in
+	// items before spilling — the sort buffer on the sorted path, the
+	// buffered-pair count of the hash collector on the hash path (default
+	// 1<<20; set small to force spills).
 	SortMemoryItems int
 	// TempDir hosts spill files (default OS temp).
 	TempDir string
@@ -205,6 +243,12 @@ type Config struct {
 	// identity). With a composite key "block|sortsuffix" the engine sets
 	// this to strip the suffix, realizing the combined-key sort.
 	GroupBy func(key string) string
+	// NewMapLocal, when non-nil, is called once per map task (attempt)
+	// and its result exposed as MapCtx.Local.
+	NewMapLocal func(st *TaskStats) any
+	// NewReduceLocal, when non-nil, is called once per reduce task and
+	// its result exposed as ReduceCtx.Local.
+	NewReduceLocal func(st *TaskStats) any
 	// FailureInjector, when non-nil, is called at each task start; a
 	// non-nil error fails that attempt (used by fault-tolerance tests).
 	FailureInjector func(task string, attempt int) error
@@ -236,6 +280,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Partition == nil {
 		c.Partition = HashPartition
+	}
+	if c.GroupMode == GroupAuto {
+		// Resolve before GroupBy is defaulted: a nil GroupBy means the
+		// group identity IS the full key, so hash grouping loses nothing.
+		if c.GroupBy == nil {
+			c.GroupMode = GroupHash
+		} else {
+			c.GroupMode = GroupSort
+		}
 	}
 	if c.GroupBy == nil {
 		c.GroupBy = func(k string) string { return k }

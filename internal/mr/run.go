@@ -3,11 +3,10 @@ package mr
 import (
 	"encoding/binary"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
-	"github.com/casm-project/casm/internal/sortx"
+	"github.com/casm-project/casm/internal/groupx"
 	"github.com/casm-project/casm/internal/transport"
 )
 
@@ -38,20 +37,23 @@ func Run(job Job) (*Result, error) {
 		defer tr.Close()
 	}
 
-	// Reducer collectors: drain the shuffle into per-reducer external
-	// sorters concurrently with the map phase, so transport backpressure
-	// never deadlocks.
+	// Reducer collectors: drain the shuffle into per-reducer grouping
+	// collectors (hash table or external sorter, per GroupMode)
+	// concurrently with the map phase, so transport backpressure never
+	// deadlocks.
 	reduceStats := make([]TaskStats, cfg.NumReducers)
-	sorters := make([]*sortx.Sorter[transport.Pair], cfg.NumReducers)
+	collectors := make([]groupx.Collector, cfg.NumReducers)
 	var collectWG sync.WaitGroup
 	var collectErr firstErr
 	if !cfg.ShuffleDisabled {
 		for r := 0; r < cfg.NumReducers; r++ {
 			r := r
 			reduceStats[r].Task = fmt.Sprintf("reduce-%d", r)
-			sorters[r] = sortx.New(
-				func(a, b transport.Pair) int { return strings.Compare(a.Key, b.Key) },
-				pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
+			if cfg.GroupMode == GroupHash {
+				collectors[r] = groupx.NewHash(pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
+			} else {
+				collectors[r] = groupx.NewSort(pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
+			}
 			collectWG.Add(1)
 			go func() {
 				defer collectWG.Done()
@@ -63,7 +65,7 @@ func Run(job Job) (*Result, error) {
 						if collectErr.get() != nil {
 							continue // keep draining to avoid sender deadlock
 						}
-						if err := sorters[r].Add(p); err != nil {
+						if err := collectors[r].Add(p); err != nil {
 							collectErr.set(err)
 						}
 					}
@@ -131,7 +133,7 @@ func Run(job Job) (*Result, error) {
 			if redErr.get() != nil {
 				return
 			}
-			if err := runReduceTask(job.Reduce, sorters[r], &reduceStats[r], cfg, &outputs[r]); err != nil {
+			if err := runReduceTask(job.Reduce, collectors[r], &reduceStats[r], cfg, &outputs[r]); err != nil {
 				redErr.set(fmt.Errorf("mr: reduce task %d: %w", r, err))
 			}
 		}()
@@ -216,6 +218,9 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 		}
 	}
 	ctx := &MapCtx{Stats: st, emit: emit}
+	if cfg.NewMapLocal != nil {
+		ctx.Local = cfg.NewMapLocal(st)
+	}
 	for {
 		rec, ok, err := it.Next()
 		if err != nil {
@@ -243,17 +248,13 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 	return nil
 }
 
-func runReduceTask(reduceFn ReduceFunc, sorter *sortx.Sorter[transport.Pair], st *TaskStats, cfg Config, out *[]transport.Pair) error {
-	it, err := sorter.Iterate()
+func runReduceTask(reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cfg Config, out *[]transport.Pair) error {
+	it, err := coll.Iterate()
 	if err != nil {
 		return err
 	}
 	defer it.Close()
-	ss := sorter.Stats()
-	st.SortItems = ss.Items
-	st.SpillBytes = ss.SpilledBytes
-	st.SpillRuns = int64(ss.Runs)
-	st.SortAllocsSaved = ss.AllocsSaved
+	fillGroupStats(st, coll.Stats())
 
 	ctx := &ReduceCtx{
 		Stats:   st,
@@ -262,6 +263,9 @@ func runReduceTask(reduceFn ReduceFunc, sorter *sortx.Sorter[transport.Pair], st
 			// ReduceCtx.Emit hands off ownership of value; no copy needed.
 			*out = append(*out, transport.Pair{Key: key, Value: value})
 		},
+	}
+	if cfg.NewReduceLocal != nil {
+		ctx.Local = cfg.NewReduceLocal(st)
 	}
 	cur, ok, err := it.Next()
 	if err != nil {
@@ -279,14 +283,30 @@ func runReduceTask(reduceFn ReduceFunc, sorter *sortx.Sorter[transport.Pair], st
 		cur, ok = gi.cur, gi.curValid
 	}
 	// Merge-path buffer reuses accumulate while iterating; refresh the
-	// counter now that the stream is drained.
-	st.SortAllocsSaved = sorter.Stats().AllocsSaved
+	// counters now that the stream is drained.
+	fillGroupStats(st, coll.Stats())
 	return nil
 }
 
-// GroupIter yields the pairs of one group, in shuffle-key order.
+// fillGroupStats maps a collector's counters onto the task's. Grouped
+// items land in SortItems on both paths — the cost model prices reducer
+// grouping uniformly (the paper's Hadoop always sorts), which keeps
+// simulated seconds comparable across modes; HashGroups/GroupSpills
+// record what the hash path actually did.
+func fillGroupStats(st *TaskStats, gs groupx.Stats) {
+	st.SortItems = gs.Items
+	st.SpillBytes = gs.SpilledBytes
+	st.SpillRuns = int64(gs.Runs)
+	st.SortAllocsSaved = gs.AllocsSaved
+	st.HashGroups = gs.Groups
+	st.GroupSpills = gs.Spills
+}
+
+// GroupIter yields the pairs of one group. On the sorted path pairs
+// arrive in full-shuffle-key order; on the hash path in arrival order
+// (grouping only — see GroupMode).
 type GroupIter struct {
-	it       *sortx.Iterator[transport.Pair]
+	it       groupx.Iterator
 	groupBy  func(string) string
 	group    string
 	cur      transport.Pair

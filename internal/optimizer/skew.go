@@ -28,10 +28,11 @@ func SimulatedDispatch(s *cube.Schema, key distkey.Key, cf int64, sample []cube.
 		return nil, err
 	}
 	loads := make([]float64, numReducers)
+	ss := bm.NewSession()
 	for _, rec := range sample {
-		bm.BlocksFor(rec, func(block string) {
+		for _, block := range ss.Blocks(rec) {
 			loads[partition(block, numReducers)]++
-		})
+		}
 	}
 	return loads, nil
 }
