@@ -16,6 +16,16 @@ import (
 // paper schema: 1–3 basic measures at random grains and 0–4 composite
 // measures of random kinds wired to random sources.
 func randomWorkflow(t *testing.T, s *cube.Schema, rng *rand.Rand) *workflow.Workflow {
+	return randomWorkflowOpts(t, s, rng, false)
+}
+
+// randomWorkflowOpts is randomWorkflow with a knob: stableBits restricts
+// rollups to order-independent aggregates (count/min/max), so the whole
+// workflow's output is bit-identical regardless of the order float
+// contributions are folded in — what the byte-identity sweeps need
+// (rollups fold source regions in map-iteration order; every other
+// measure kind already consumes its inputs in a deterministic order).
+func randomWorkflowOpts(t *testing.T, s *cube.Schema, rng *rand.Rand, stableBits bool) *workflow.Workflow {
 	t.Helper()
 	w := workflow.New(s)
 
@@ -90,7 +100,11 @@ func randomWorkflow(t *testing.T, s *cube.Schema, rng *rand.Rand) *workflow.Work
 			if !coarsened {
 				continue // source already at ALL everywhere
 			}
-			err = w.AddRollup(name, grain, aggs[rng.Intn(5)], src) // mergeable aggs
+			spec := aggs[rng.Intn(5)] // mergeable aggs
+			if stableBits {
+				spec = []measure.Spec{{Func: measure.Count}, {Func: measure.Min}, {Func: measure.Max}}[rng.Intn(3)]
+			}
+			err = w.AddRollup(name, grain, spec, src)
 		case 2: // inherit to a strictly finer grain
 			grain := sm.Grain.Clone()
 			refined := false

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/casm-project/casm/internal/localeval"
+	"github.com/casm-project/casm/internal/workload"
+)
+
+// TestEngineKnobSweepByteIdentical sweeps every evaluator-relevant engine
+// knob — scan mode, combined-key sort, early aggregation, and a forced-
+// spill memory budget — over random bit-stable workflows and demands
+// byte-identical measure output from every combination (and agreement
+// with the single-block oracle). This is the engine-level leg of the
+// arena-session equivalence property: whatever path feeds the reduce-side
+// evaluator session, the floats coming out must not move by a bit.
+func TestEngineKnobSweepByteIdentical(t *testing.T) {
+	su := workload.NewSuite()
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(6000 + seed)))
+			w := randomWorkflowOpts(t, su.Schema, rng, true)
+			records := su.Generate(400+rng.Intn(800), workload.Uniform, int64(seed))
+			ds := MemoryDataset(su.Schema, records, 1+rng.Intn(6))
+			want := oracle(t, w, records)
+
+			var baseOut, baseLabel string
+			for _, scan := range []localeval.ScanMode{localeval.HashScan, localeval.ChainScan} {
+				for _, sortMode := range []SortMode{TwoPassSort, CombinedKeySort} {
+					for _, early := range []EarlyAggMode{EarlyAggOff, EarlyAggAuto} {
+						for _, memItems := range []int{0, 2} { // 0 = default budget; 2 forces spills
+							label := fmt.Sprintf("scan=%v sort=%v early=%v mem=%d", scan, sortMode, early, memItems)
+							cfg := Config{
+								NumReducers:      1 + rng.Intn(6),
+								LocalScan:        scan,
+								SortMode:         sortMode,
+								EarlyAggregation: early,
+								SortMemoryItems:  memItems,
+							}
+							res := runEngine(t, cfg, w, ds)
+							compare(t, label, want, flatten(res))
+							out := canonicalOutput(res)
+							if baseOut == "" {
+								baseOut, baseLabel = out, label
+							} else if out != baseOut {
+								t.Errorf("output of %q differs byte-wise from %q", label, baseLabel)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

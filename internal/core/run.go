@@ -192,13 +192,21 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 	arity := s.NumAttrs()
 	basics := w.Basics()
 
-	// Each map and reduce task gets its own distkey.Session: the scratch
-	// buffers and the block-key intern cache that turn per-record key
-	// generation (and the reduce-side ownership filter) allocation-free.
-	newSession := func(st *mr.TaskStats) any { return bm.NewSession() }
+	// Each map task gets a distkey.Session (scratch + block-key intern
+	// cache for allocation-free per-record key generation) plus a combined
+	// key scratch; each reduce task additionally gets a localeval.Session
+	// — the arena-backed evaluator state reused across all of the task's
+	// groups.
+	newMapLocal := func(st *mr.TaskStats) any {
+		return &mapLocal{dk: bm.NewSession()}
+	}
+	newReduceLocal := func(st *mr.TaskStats) any {
+		return &reduceLocal{dk: bm.NewSession(), ev: ev.NewSession()}
+	}
 
 	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
-		sess := ctx.Local.(*distkey.Session)
+		ml := ctx.Local.(*mapLocal)
+		sess := ml.dk
 		rec := getRecordBuf(arity)
 		defer putRecordBuf(rec)
 		if err := recio.DecodeRecordInto(raw, rec); err != nil {
@@ -207,7 +215,11 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		for _, block := range sess.Blocks(rec) {
 			key := block
 			if combined {
-				key = block + string(raw)
+				// Emit retains the key, so one string allocation is
+				// inherent; build block+raw through the reused scratch to
+				// avoid the intermediate string(raw) conversion.
+				ml.keyBuf = append(append(ml.keyBuf[:0], block...), raw...)
+				key = string(ml.keyBuf)
 			}
 			if err := ctx.Emit(key, raw); err != nil {
 				return err
@@ -225,16 +237,17 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 	}
 
 	reduceFn := func(ctx *mr.ReduceCtx, blockKey string, values *mr.GroupIter) error {
+		rl := ctx.Local.(*reduceLocal)
+		es := rl.ev
 		switch e.cfg.Stage {
 		case StageShuffle:
 			return values.Drain()
 		case StageSort:
-			records, err := collectRecords(values, arity)
-			if err != nil {
+			if err := loadGroup(values, es); err != nil {
 				return err
 			}
-			localeval.SortRecords(records)
-			ctx.Stats.GroupSortItems += int64(len(records))
+			ctx.Stats.GroupSortItems += int64(es.SortLoaded())
+			ctx.Stats.EvalArenaBytes = es.ArenaBytes
 			return nil
 		}
 		var results []localeval.Result
@@ -244,7 +257,7 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 			if err != nil {
 				return err
 			}
-			results, est, err = ev.EvaluateFromBasics(groups)
+			results, est, err = es.EvaluateFromBasics(groups)
 			if err != nil {
 				return err
 			}
@@ -254,11 +267,11 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 			// model prices it like the in-group sort it replaces.
 			ctx.Stats.GroupSortItems += pairs
 		} else {
-			records, err := collectRecords(values, arity)
-			if err != nil {
+			if err := loadGroup(values, es); err != nil {
 				return err
 			}
-			results, est, err = ev.Evaluate(records, localeval.Options{
+			var err error
+			results, est, err = es.EvaluateBlock(localeval.Options{
 				SkipSort: combined,
 				Scan:     e.cfg.LocalScan,
 			})
@@ -268,18 +281,23 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 			ctx.Stats.EvalRecords += est.ScannedRecords
 		}
 		ctx.Stats.GroupSortItems += est.SortedItems
+		ctx.Stats.WindowLookups += est.WindowLookups
 		// Ownership filter (Section III-B.2): only the block owning a
 		// result's region may output it; duplicated and partial results in
 		// overlapping neighbours are dropped here. The task session's
-		// intern cache makes each Owner probe allocation-free.
-		sess := ctx.Local.(*distkey.Session)
+		// intern cache makes each Owner probe allocation-free. Results
+		// alias the evaluator session's arenas and are only valid inside
+		// this group — emitting copies what survives the filter.
+		sess := rl.dk
 		for _, r := range results {
 			if sess.Owner(r.Region) != blockKey {
 				continue
 			}
-			ctx.Emit(r.Measure, encodeMeasureRecord(r.Region.Coord, r.Value))
+			ctx.Emit(r.Measure, appendMeasureRecord(make([]byte, 0, len(r.Region.Coord)*3+8), r.Region.Coord, r.Value))
 		}
 		ctx.Stats.KeyCacheHits = sess.Hits
+		ctx.Stats.EvalArenaBytes = es.ArenaBytes
+		ctx.Stats.AggPoolHits = es.PoolHits
 		return nil
 	}
 
@@ -309,8 +327,8 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 			GroupMode:         groupMode,
 			SortMemoryItems:   e.cfg.SortMemoryItems,
 			TempDir:           e.cfg.TempDir,
-			NewMapLocal:       newSession,
-			NewReduceLocal:    newSession,
+			NewMapLocal:       newMapLocal,
+			NewReduceLocal:    newReduceLocal,
 			FailureInjector:   e.cfg.FailureInjector,
 		},
 	}
@@ -385,6 +403,9 @@ func EstimateFromStats(c costmodel.Cluster, js mr.JobStats) costmodel.Estimate {
 			GroupSpill:     t.GroupSpillBytes,
 			EvalRecords:    t.EvalRecords,
 			OutputRecords:  t.OutputRecords,
+			EvalArenaBytes: t.EvalArenaBytes,
+			AggPoolHits:    t.AggPoolHits,
+			WindowLookups:  t.WindowLookups,
 		}
 	}
 	return costmodel.EstimateJob(c, mw, rw)
@@ -392,12 +413,18 @@ func EstimateFromStats(c costmodel.Cluster, js mr.JobStats) costmodel.Estimate {
 
 // --- payload codecs ---
 
-// encodeMeasureRecord packs region coordinates and the value.
-func encodeMeasureRecord(coords []int64, v float64) []byte {
-	buf := []byte(cube.EncodeCoords(coords))
+// appendMeasureRecord appends a packed <region coordinates, value> record
+// to dst and returns the extended slice.
+func appendMeasureRecord(dst []byte, coords []int64, v float64) []byte {
+	dst = cube.AppendCoords(dst, coords)
 	var f [8]byte
 	binary.LittleEndian.PutUint64(f[:], math.Float64bits(v))
-	return append(buf, f[:]...)
+	return append(dst, f[:]...)
+}
+
+// encodeMeasureRecord packs region coordinates and the value.
+func encodeMeasureRecord(coords []int64, v float64) []byte {
+	return appendMeasureRecord(make([]byte, 0, len(coords)*3+8), coords, v)
 }
 
 func decodeMeasureRecord(b []byte, arity int) ([]int64, float64, error) {
@@ -579,22 +606,38 @@ func decodePartial(b []byte, arity int) (int, []int64, []byte, error) {
 	return idx, coords, state, nil
 }
 
-// collectRecords materializes a group's raw records.
-func collectRecords(values *mr.GroupIter, arity int) ([]cube.Record, error) {
-	var records []cube.Record
+// mapLocal is one map task's reusable state (mr.Config.NewMapLocal).
+type mapLocal struct {
+	dk *distkey.Session
+	// keyBuf builds combined block+record shuffle keys without the
+	// intermediate string conversion.
+	keyBuf []byte
+}
+
+// reduceLocal is one reduce task's reusable state
+// (mr.Config.NewReduceLocal): the block-key intern session and the
+// arena-backed evaluator session, both shared across all of the task's
+// groups.
+type reduceLocal struct {
+	dk *distkey.Session
+	ev *localeval.Session
+}
+
+// loadGroup streams a group's raw records straight into the evaluator
+// session's columnar arena — one flat decode per record, no per-record
+// slice allocations.
+func loadGroup(values *mr.GroupIter, es *localeval.Session) error {
 	for {
 		p, ok, err := values.Next()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
-			return records, nil
+			return nil
 		}
-		rec, err := recio.DecodeRecord(p.Value, arity)
-		if err != nil {
-			return nil, err
+		if err := es.AppendRaw(p.Value); err != nil {
+			return err
 		}
-		records = append(records, rec)
 	}
 }
 

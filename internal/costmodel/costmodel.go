@@ -97,6 +97,16 @@ type ReduceWork struct {
 	GroupSpill     int64 // bytes spilled by the in-group sort
 	EvalRecords    int64 // records scanned by the local evaluation
 	OutputRecords  int64 // measure records produced
+
+	// Observability-only counters, priced at zero: the work they count is
+	// already covered by EvalRecords (a window probe is part of scanning
+	// a region's measures, and arena/pool traffic is bookkeeping inside
+	// the evaluation loop). They exist so simulated seconds stay a pure
+	// function of the priced fields above while the evaluator's memory
+	// and recycling behaviour remain visible per task.
+	EvalArenaBytes int64 // high-water evaluator arena footprint
+	AggPoolHits    int64 // aggregators recycled from the session pool
+	WindowLookups  int64 // sibling-window probes
 }
 
 func nLogN(n int64) float64 {

@@ -95,6 +95,9 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.GroupSpillBytes *= rep
 		t.EvalRecords *= rep
 		t.OutputRecords *= rep
+		t.EvalArenaBytes *= rep
+		t.AggPoolHits *= rep
+		t.WindowLookups *= rep
 		out.ReduceTasks = append(out.ReduceTasks, t)
 	}
 	return out

@@ -5,7 +5,6 @@ import (
 
 	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/measure"
-	"github.com/casm-project/casm/internal/workflow"
 )
 
 // ScanMode selects how the block scan builds groups.
@@ -89,71 +88,121 @@ func chainCompatible(s *cube.Schema, g cube.Grain, perm []int) bool {
 	return true
 }
 
-// sortRecordsByPerm orders records lexicographically by their values in
-// perm order.
-func sortRecordsByPerm(records []cube.Record, perm []int) {
-	sort.Slice(records, func(i, j int) bool {
-		a, b := records[i], records[j]
-		for _, k := range perm {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
-}
-
-// chainState streams one chain-compatible grain: it keeps the open
-// group's coordinates and (for basic measures on that grain) open
-// aggregators, flushing on group boundaries.
-type chainState struct {
-	gi     int
-	grain  cube.Grain
+// chainRun streams one chain-compatible grain: it keeps the open group's
+// coordinates and (for basic measures on that grain) open aggregators,
+// flushing on group boundaries. The per-grain runs live on the Session
+// and are reused across groups.
+type chainRun struct {
 	open   bool
 	coords []int64
-	basics []*chainBasic
-	occ    *regionIndex
+	aggs   []measure.Aggregator // parallel to Evaluator.basicsAt[gi]
 }
 
-type chainBasic struct {
-	m    *workflow.Measure
-	aggs map[string]measure.Aggregator
-	cur  measure.Aggregator
-}
-
-func (cs *chainState) boundary(coords []int64) bool {
-	if !cs.open {
+func (cr *chainRun) boundary(coords []int64) bool {
+	if !cr.open {
 		return true
 	}
 	for i, c := range coords {
-		if cs.coords[i] != c {
+		if cr.coords[i] != c {
 			return true
 		}
 	}
 	return false
 }
 
-func (cs *chainState) flush() {
-	if !cs.open {
-		return
-	}
-	k := cube.EncodeCoords(cs.coords)
-	if _, seen := cs.occ.coords[k]; !seen {
-		cs.occ.coords[k] = append([]int64(nil), cs.coords...)
-	}
-	for _, b := range cs.basics {
-		if b.cur != nil {
-			b.aggs[k] = b.cur
-			b.cur = nil
+// scanChain sorts the arena rows by the evaluator's precomputed attribute
+// permutation (reusing the index-permutation sort) and streams contiguous
+// groups for every chain-compatible grain, hashing only the rest.
+func (ss *Session) scanChain(stats *Stats) {
+	e, s := ss.e, ss.e.schema
+	ss.sortRows(e.perm)
+	stats.SortedItems = int64(len(ss.rows))
+	if ss.chain == nil {
+		ss.chain = make([]chainRun, len(e.grains))
+		for gi := range ss.chain {
+			ss.chain[gi].coords = make([]int64, e.arity)
+			ss.chain[gi].aggs = make([]measure.Aggregator, len(e.basicsAt[gi]))
 		}
 	}
-	cs.open = false
+	for gi := range ss.chain {
+		ss.chain[gi].open = false
+	}
+	for _, ri := range ss.rows {
+		rec := ss.row(ri)
+		stats.ScannedRecords++
+		for gi := range e.grains {
+			if !e.chainOK[gi] {
+				continue
+			}
+			cr := &ss.chain[gi]
+			s.CoordOf(rec, e.grains[gi], ss.coord)
+			if cr.boundary(ss.coord) {
+				ss.flushChain(gi)
+				ss.openChain(gi, ss.coord)
+			}
+			for bi, oi := range e.basicsAt[gi] {
+				m := e.order[oi]
+				if m.InputAttr >= 0 {
+					cr.aggs[bi].Add(float64(rec[m.InputAttr]))
+				} else {
+					cr.aggs[bi].Add(0)
+				}
+			}
+		}
+		for gi := range e.grains {
+			if e.chainOK[gi] {
+				continue
+			}
+			s.CoordOf(rec, e.grains[gi], ss.coord)
+			enc := cube.AppendCoords(ss.encG[gi][:0], ss.coord)
+			ss.encG[gi] = enc
+			if _, ok := ss.occ[gi][string(enc)]; !ok {
+				ss.insertRegion(gi, enc, ss.coord)
+			}
+			for _, oi := range e.basicsAt[gi] {
+				m := e.order[oi]
+				agg := ss.aggs[oi][string(enc)]
+				if m.InputAttr >= 0 {
+					agg.Add(float64(rec[m.InputAttr]))
+				} else {
+					agg.Add(0)
+				}
+			}
+		}
+	}
+	for gi := range e.grains {
+		if e.chainOK[gi] {
+			ss.flushChain(gi)
+		}
+	}
 }
 
-func (cs *chainState) openGroup(coords []int64) {
-	copy(cs.coords, coords)
-	cs.open = true
-	for _, b := range cs.basics {
-		b.cur = b.m.Agg.New()
+// flushChain closes grain gi's open group, registering its region and
+// handing the open aggregators to the basic-aggregate maps.
+func (ss *Session) flushChain(gi int) {
+	cr := &ss.chain[gi]
+	if !cr.open {
+		return
+	}
+	enc := cube.AppendCoords(ss.enc[:0], cr.coords)
+	ss.enc = enc
+	k := string(enc)
+	if _, seen := ss.occ[gi][k]; !seen {
+		ss.occ[gi][k] = ss.saveCoords(cr.coords)
+	}
+	for bi, oi := range ss.e.basicsAt[gi] {
+		ss.aggs[oi][k] = cr.aggs[bi]
+		cr.aggs[bi] = nil
+	}
+	cr.open = false
+}
+
+// openChain starts a new group for grain gi with pooled aggregators.
+func (ss *Session) openChain(gi int, coords []int64) {
+	cr := &ss.chain[gi]
+	copy(cr.coords, coords)
+	cr.open = true
+	for bi, oi := range ss.e.basicsAt[gi] {
+		cr.aggs[bi] = ss.getAgg(ss.e.order[oi].Agg)
 	}
 }

@@ -18,11 +18,16 @@
 // visible to downstream measures. Composite measures are evaluated at the
 // *occupied* regions of their grain (regions containing at least one raw
 // record), so result sets are always data-driven.
+//
+// The hot path is Session (see session.go): a per-reduce-task arena that
+// holds the block's records as fixed-stride rows in one flat []int64,
+// probes every string-keyed index through reused encode scratch, and
+// recycles aggregators across groups. Evaluator.Evaluate remains as a
+// convenience wrapper that runs a fresh session per call.
 package localeval
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"github.com/casm-project/casm/internal/cube"
@@ -55,14 +60,27 @@ type Options struct {
 	Scan ScanMode
 }
 
-// Evaluator evaluates one workflow over blocks of records. It is
-// stateless across Evaluate calls and safe for concurrent use.
+// Evaluator holds the workflow-derived read-only plan for evaluating
+// blocks: the topological measure order, the distinct grains, source and
+// grain indices resolved to array offsets, the chain-scan permutation and
+// per-grain compatibility, and each sliding window's domain bounds. It is
+// immutable after New and safe for concurrent use; all mutable evaluation
+// state lives in Session.
 type Evaluator struct {
 	w      *workflow.Workflow
 	schema *cube.Schema
 	order  []*workflow.Measure
 	grains []cube.Grain // distinct grains, indexed by grainIdx
 	gidx   map[string]int
+
+	arity      int
+	gidxOf     []int     // gidxOf[oi] = grain index of order[oi].Grain
+	srcIdx     [][]int   // srcIdx[oi] = order indices of order[oi].Sources
+	basicOrder []int     // order indices of Basic measures, in topo order
+	basicsAt   [][]int   // basicsAt[gi] = order indices of Basic measures at grain gi
+	winMax     [][]int64 // winMax[oi][j] = max in-domain coordinate of order[oi].Window[j] (Sliding only)
+	perm       []int     // chain-scan attribute permutation
+	chainOK    []bool    // chainOK[gi]: grain gi streams contiguously under perm
 }
 
 // New validates the workflow and builds an evaluator.
@@ -75,8 +93,47 @@ func New(w *workflow.Workflow) (*Evaluator, error) {
 		return nil, err
 	}
 	e := &Evaluator{w: w, schema: w.Schema(), order: order, gidx: make(map[string]int)}
-	for _, m := range order {
-		e.grainIndex(m.Grain)
+	e.arity = e.schema.NumAttrs()
+	midx := make(map[string]int, len(order))
+	for oi, m := range order {
+		midx[m.Name] = oi
+	}
+	e.gidxOf = make([]int, len(order))
+	e.srcIdx = make([][]int, len(order))
+	e.winMax = make([][]int64, len(order))
+	for oi, m := range order {
+		e.gidxOf[oi] = e.grainIndex(m.Grain)
+		if len(m.Sources) > 0 {
+			idx := make([]int, len(m.Sources))
+			for i, name := range m.Sources {
+				si, ok := midx[name]
+				if !ok {
+					return nil, fmt.Errorf("localeval: missing source %q", name)
+				}
+				idx[i] = si
+			}
+			e.srcIdx[oi] = idx
+		}
+		if m.Kind == workflow.Sliding {
+			maxC := make([]int64, len(m.Window))
+			for j, ann := range m.Window {
+				maxC[j] = e.schema.Attr(ann.Attr).CardAt(m.Grain[ann.Attr]) - 1
+			}
+			e.winMax[oi] = maxC
+		}
+	}
+	e.basicsAt = make([][]int, len(e.grains))
+	for oi, m := range order {
+		if m.Kind == workflow.Basic {
+			e.basicOrder = append(e.basicOrder, oi)
+			gi := e.gidxOf[oi]
+			e.basicsAt[gi] = append(e.basicsAt[gi], oi)
+		}
+	}
+	e.perm = chainPermutation(e.schema, e.grains)
+	e.chainOK = make([]bool, len(e.grains))
+	for gi, g := range e.grains {
+		e.chainOK[gi] = chainCompatible(e.schema, g, e.perm)
 	}
 	return e, nil
 }
@@ -89,6 +146,8 @@ func grainKey(g cube.Grain) string {
 	return string(b)
 }
 
+// grainIndex registers a grain during construction. The grain set is
+// frozen after New; sessions index it through Evaluator.gidxOf.
 func (e *Evaluator) grainIndex(g cube.Grain) int {
 	k := grainKey(g)
 	if i, ok := e.gidx[k]; ok {
@@ -99,159 +158,16 @@ func (e *Evaluator) grainIndex(g cube.Grain) int {
 	return len(e.grains) - 1
 }
 
-// regionIndex records which regions of a grain are occupied, with their
-// coordinates.
-type regionIndex struct {
-	coords map[string][]int64
-}
-
-// measureState holds one measure's computed (non-NaN) values by region
-// key at the measure's grain.
-type measureState struct {
-	values map[string]float64
-}
-
-// Evaluate computes all measures over the block's records.
+// Evaluate computes all measures over the block's records. It is a
+// convenience wrapper that runs a fresh Session per call, so the returned
+// results are owned by the caller; reduce tasks that evaluate many groups
+// should hold one Session and call Session.EvaluateBlock instead.
 func (e *Evaluator) Evaluate(records []cube.Record, opt Options) ([]Result, Stats, error) {
-	var stats Stats
-	occupancy := make([]regionIndex, len(e.grains))
-	for i := range occupancy {
-		occupancy[i] = regionIndex{coords: make(map[string][]int64)}
-	}
-	basicAggs := make(map[string]map[string]measure.Aggregator)
-	if opt.Scan == ChainScan {
-		e.scanChain(records, occupancy, basicAggs, &stats)
-	} else {
-		e.scanHash(records, opt, occupancy, basicAggs, &stats)
-	}
-	out, err := e.finish(occupancy, basicAggs, &stats)
-	return out, stats, err
-}
-
-// scanHash builds every grain's occupancy and every basic measure's
-// aggregators through hash tables in a single scan.
-func (e *Evaluator) scanHash(records []cube.Record, opt Options, occupancy []regionIndex, basicAggs map[string]map[string]measure.Aggregator, stats *Stats) {
-	s := e.schema
-	if !opt.SkipSort {
-		SortRecords(records)
-		stats.SortedItems = int64(len(records))
-	}
-	type basicAgg struct {
-		m    *workflow.Measure
-		aggs map[string]measure.Aggregator
-		gi   int
-	}
-	var basics []*basicAgg
-	for _, m := range e.order {
-		if m.Kind == workflow.Basic {
-			aggs := make(map[string]measure.Aggregator)
-			basicAggs[m.Name] = aggs
-			basics = append(basics, &basicAgg{m: m, aggs: aggs, gi: e.grainIndex(m.Grain)})
-		}
-	}
-	coord := make([]int64, s.NumAttrs())
-	keys := make([]string, len(e.grains))
+	ss := e.NewSession()
 	for _, rec := range records {
-		stats.ScannedRecords++
-		for gi, g := range e.grains {
-			s.CoordOf(rec, g, coord)
-			k := cube.EncodeCoords(coord)
-			keys[gi] = k
-			if _, ok := occupancy[gi].coords[k]; !ok {
-				occupancy[gi].coords[k] = append([]int64(nil), coord...)
-			}
-		}
-		for _, b := range basics {
-			k := keys[b.gi]
-			agg, ok := b.aggs[k]
-			if !ok {
-				agg = b.m.Agg.New()
-				b.aggs[k] = agg
-			}
-			if b.m.InputAttr >= 0 {
-				agg.Add(float64(rec[b.m.InputAttr]))
-			} else {
-				agg.Add(0)
-			}
-		}
+		ss.AppendRecord(rec)
 	}
-}
-
-// scanChain sorts by a grain-derived attribute permutation and streams
-// contiguous groups for every chain-compatible grain, hashing only the
-// rest (see ScanMode).
-func (e *Evaluator) scanChain(records []cube.Record, occupancy []regionIndex, basicAggs map[string]map[string]measure.Aggregator, stats *Stats) {
-	s := e.schema
-	perm := chainPermutation(s, e.grains)
-	sortRecordsByPerm(records, perm)
-	stats.SortedItems = int64(len(records))
-
-	// Group the basic measures by grain and split grains into streamed
-	// and hashed sets.
-	basicsByGrain := make([][]*workflow.Measure, len(e.grains))
-	for _, m := range e.order {
-		if m.Kind == workflow.Basic {
-			basicAggs[m.Name] = make(map[string]measure.Aggregator)
-			gi := e.grainIndex(m.Grain)
-			basicsByGrain[gi] = append(basicsByGrain[gi], m)
-		}
-	}
-	var chains []*chainState
-	var hashed []int // grain indices aggregated through hashing
-	for gi, g := range e.grains {
-		if chainCompatible(s, g, perm) {
-			cs := &chainState{gi: gi, grain: g, coords: make([]int64, s.NumAttrs()), occ: &occupancy[gi]}
-			for _, m := range basicsByGrain[gi] {
-				cs.basics = append(cs.basics, &chainBasic{m: m, aggs: basicAggs[m.Name]})
-			}
-			chains = append(chains, cs)
-		} else {
-			hashed = append(hashed, gi)
-		}
-	}
-
-	coord := make([]int64, s.NumAttrs())
-	for _, rec := range records {
-		stats.ScannedRecords++
-		for _, cs := range chains {
-			s.CoordOf(rec, cs.grain, coord)
-			if cs.boundary(coord) {
-				cs.flush()
-				cs.openGroup(coord)
-			}
-			for _, b := range cs.basics {
-				if b.m.InputAttr >= 0 {
-					b.cur.Add(float64(rec[b.m.InputAttr]))
-				} else {
-					b.cur.Add(0)
-				}
-			}
-		}
-		for _, gi := range hashed {
-			g := e.grains[gi]
-			s.CoordOf(rec, g, coord)
-			k := cube.EncodeCoords(coord)
-			if _, ok := occupancy[gi].coords[k]; !ok {
-				occupancy[gi].coords[k] = append([]int64(nil), coord...)
-			}
-			for _, m := range basicsByGrain[gi] {
-				aggs := basicAggs[m.Name]
-				agg, ok := aggs[k]
-				if !ok {
-					agg = m.Agg.New()
-					aggs[k] = agg
-				}
-				if m.InputAttr >= 0 {
-					agg.Add(float64(rec[m.InputAttr]))
-				} else {
-					agg.Add(0)
-				}
-			}
-		}
-	}
-	for _, cs := range chains {
-		cs.flush()
-	}
+	return ss.EvaluateBlock(opt)
 }
 
 // BasicGroup is one pre-aggregated basic-measure group, used when early
@@ -264,60 +180,10 @@ type BasicGroup struct {
 }
 
 // EvaluateFromBasics computes all measures from pre-merged basic-measure
-// aggregates (the early-aggregation path of Section III-D). Every basic
-// measure must be present in basics. The per-grain occupancy index is
-// reconstructed from basic measures at equal or finer grains, so the
-// workflow must satisfy the coverage condition checked by
-// SupportsEarlyAggregation.
+// aggregates (the early-aggregation path of Section III-D). It runs a
+// fresh Session per call; see Session.EvaluateFromBasics.
 func (e *Evaluator) EvaluateFromBasics(basics map[string][]BasicGroup) ([]Result, Stats, error) {
-	var stats Stats
-	if err := e.SupportsEarlyAggregation(); err != nil {
-		return nil, stats, err
-	}
-	s := e.schema
-	occupancy := make([]regionIndex, len(e.grains))
-	for i := range occupancy {
-		occupancy[i] = regionIndex{coords: make(map[string][]int64)}
-	}
-	basicAggs := make(map[string]map[string]measure.Aggregator, len(basics))
-	for _, m := range e.order {
-		if m.Kind != workflow.Basic {
-			continue
-		}
-		groups, ok := basics[m.Name]
-		if !ok {
-			return nil, stats, fmt.Errorf("localeval: missing basic measure %q in pre-aggregated input", m.Name)
-		}
-		aggs := make(map[string]measure.Aggregator, len(groups))
-		basicAggs[m.Name] = aggs
-		coord := make([]int64, s.NumAttrs())
-		for _, g := range groups {
-			k := cube.EncodeCoords(g.Coords)
-			if prev, dup := aggs[k]; dup {
-				if err := prev.MergeState(g.Agg.State()); err != nil {
-					return nil, stats, err
-				}
-			} else {
-				aggs[k] = g.Agg
-			}
-			// Populate occupancy at every grain this basic's grain
-			// specializes, by rolling the region coordinates up.
-			for gi, grain := range e.grains {
-				if !grain.GeneralizationOf(m.Grain) {
-					continue
-				}
-				for i := range coord {
-					coord[i] = s.Attr(i).RollBetween(g.Coords[i], m.Grain[i], grain[i])
-				}
-				ck := cube.EncodeCoords(coord)
-				if _, seen := occupancy[gi].coords[ck]; !seen {
-					occupancy[gi].coords[ck] = append([]int64(nil), coord...)
-				}
-			}
-		}
-	}
-	out, err := e.finish(occupancy, basicAggs, &stats)
-	return out, stats, err
+	return e.NewSession().EvaluateFromBasics(basics)
 }
 
 // SupportsEarlyAggregation reports whether the paper's early-aggregation
@@ -348,206 +214,12 @@ func (e *Evaluator) SupportsEarlyAggregation() error {
 	return nil
 }
 
-// finish derives every measure in topological order from the occupancy
-// index and the basic aggregates, then materializes results.
-func (e *Evaluator) finish(occupancy []regionIndex, basicAggs map[string]map[string]measure.Aggregator, stats *Stats) ([]Result, error) {
-	states := make(map[string]*measureState, len(e.order))
-	for _, m := range e.order {
-		st := &measureState{values: make(map[string]float64)}
-		states[m.Name] = st
-		switch m.Kind {
-		case workflow.Basic:
-			for k, agg := range basicAggs[m.Name] {
-				if v := agg.Result(); !math.IsNaN(v) {
-					st.values[k] = v
-				}
-			}
-		case workflow.Self:
-			if err := e.evalSelf(m, st, states, occupancy); err != nil {
-				return nil, err
-			}
-		case workflow.Inherit:
-			if err := e.evalInherit(m, st, states, occupancy); err != nil {
-				return nil, err
-			}
-		case workflow.Rollup:
-			if err := e.evalRollup(m, st, states, occupancy); err != nil {
-				return nil, err
-			}
-		case workflow.Sliding:
-			if err := e.evalSliding(m, st, states, occupancy, stats); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("localeval: unknown kind %v", m.Kind)
-		}
-	}
-
-	// Materialize results in deterministic order.
-	var out []Result
-	for _, m := range e.order {
-		st := states[m.Name]
-		gi := e.grainIndex(m.Grain)
-		keys := make([]string, 0, len(st.values))
-		for k := range st.values {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			out = append(out, Result{
-				Measure: m.Name,
-				Region:  cube.Region{Grain: m.Grain, Coord: occupancy[gi].coords[k]},
-				Value:   st.values[k],
-			})
-		}
-	}
-	stats.Results = int64(len(out))
-	return out, nil
-}
-
-// lookupAt resolves a source measure's value for the region with the given
-// coordinates at grain g, rolling up to the source's grain as needed.
-func (e *Evaluator) lookupAt(src *workflow.Measure, st *measureState, coords []int64, g cube.Grain) (float64, bool) {
-	s := e.schema
-	buf := make([]int64, len(coords))
-	for i := range coords {
-		buf[i] = s.Attr(i).RollBetween(coords[i], g[i], src.Grain[i])
-	}
-	v, ok := st.values[cube.EncodeCoords(buf)]
-	return v, ok
-}
-
-func (e *Evaluator) evalSelf(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex) error {
-	gi := e.grainIndex(m.Grain)
-	srcs := make([]*workflow.Measure, len(m.Sources))
-	for i, name := range m.Sources {
-		sm, ok := e.w.Measure(name)
-		if !ok {
-			return fmt.Errorf("localeval: missing source %q", name)
-		}
-		srcs[i] = sm
-	}
-	args := make([]float64, len(srcs))
-	for k, coords := range occ[gi].coords {
-		for i, sm := range srcs {
-			v, ok := e.lookupAt(sm, states[sm.Name], coords, m.Grain)
-			if !ok {
-				v = math.NaN()
-			}
-			args[i] = v
-		}
-		if v := m.Expr.Eval(args); !math.IsNaN(v) {
-			st.values[k] = v
-		}
-	}
-	return nil
-}
-
-func (e *Evaluator) evalInherit(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex) error {
-	gi := e.grainIndex(m.Grain)
-	sm, ok := e.w.Measure(m.Sources[0])
-	if !ok {
-		return fmt.Errorf("localeval: missing source %q", m.Sources[0])
-	}
-	for k, coords := range occ[gi].coords {
-		if v, ok := e.lookupAt(sm, states[sm.Name], coords, m.Grain); ok && !math.IsNaN(v) {
-			st.values[k] = v
-		}
-	}
-	return nil
-}
-
-func (e *Evaluator) evalRollup(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex) error {
-	s := e.schema
-	sm, ok := e.w.Measure(m.Sources[0])
-	if !ok {
-		return fmt.Errorf("localeval: missing source %q", m.Sources[0])
-	}
-	sgi := e.grainIndex(sm.Grain)
-	aggs := make(map[string]measure.Aggregator)
-	parent := make([]int64, s.NumAttrs())
-	for k, v := range states[sm.Name].values {
-		coords := occ[sgi].coords[k]
-		for i := range coords {
-			parent[i] = s.Attr(i).RollBetween(coords[i], sm.Grain[i], m.Grain[i])
-		}
-		pk := cube.EncodeCoords(parent)
-		agg, ok := aggs[pk]
-		if !ok {
-			agg = m.Agg.New()
-			aggs[pk] = agg
-			// Record the parent's coordinates so results can name the
-			// region even if no measure grain matched it during the scan.
-			gi := e.grainIndex(m.Grain)
-			if _, seen := occ[gi].coords[pk]; !seen {
-				occ[gi].coords[pk] = append([]int64(nil), parent...)
-			}
-		}
-		agg.Add(v)
-	}
-	for pk, agg := range aggs {
-		if v := agg.Result(); !math.IsNaN(v) {
-			st.values[pk] = v
-		}
-	}
-	return nil
-}
-
-func (e *Evaluator) evalSliding(m *workflow.Measure, st *measureState, states map[string]*measureState, occ []regionIndex, stats *Stats) error {
-	gi := e.grainIndex(m.Grain)
-	sm, ok := e.w.Measure(m.Sources[0])
-	if !ok {
-		return fmt.Errorf("localeval: missing source %q", m.Sources[0])
-	}
-	src := states[sm.Name]
-	probe := make([]int64, e.schema.NumAttrs())
-	for k, coords := range occ[gi].coords {
-		agg := m.Agg.New()
-		e.windowScan(m.Window, 0, coords, probe, func() {
-			stats.WindowLookups++
-			if v, ok := src.values[cube.EncodeCoords(probe)]; ok {
-				agg.Add(v)
-			}
-		})
-		if agg.N() == 0 {
-			continue
-		}
-		if v := agg.Result(); !math.IsNaN(v) {
-			st.values[k] = v
-		}
-	}
-	return nil
-}
-
-// windowScan enumerates the cross product of window offsets, filling
-// probe with each sibling's coordinates and invoking visit. Coordinates
-// outside the attribute's domain are skipped.
-func (e *Evaluator) windowScan(window []workflow.RangeAnn, i int, base, probe []int64, visit func()) {
-	if i == 0 {
-		copy(probe, base)
-	}
-	if i == len(window) {
-		visit()
-		return
-	}
-	ann := window[i]
-	// The grain level of the annotated attribute is the measure's grain
-	// level; base coords are at that grain already.
-	for off := ann.Low; off <= ann.High; off++ {
-		c := base[ann.Attr] + off
-		if c < 0 {
-			continue
-		}
-		probe[ann.Attr] = c
-		e.windowScan(window, i+1, base, probe, visit)
-	}
-	probe[ann.Attr] = base[ann.Attr]
-}
-
 // SortRecords orders records lexicographically by their finest-level
 // values; any total order works for the hash-based group construction,
 // and a deterministic one makes runs reproducible (this is the in-group
-// sort whose cost Figure 4(d) isolates).
+// sort whose cost Figure 4(d) isolates). Session.SortLoaded is the
+// arena-backed equivalent used by reduce tasks: it permutes row indices
+// over the flat block arena instead of swapping record headers.
 func SortRecords(records []cube.Record) {
 	sort.Slice(records, func(i, j int) bool {
 		a, b := records[i], records[j]

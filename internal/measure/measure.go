@@ -125,6 +125,11 @@ type Aggregator interface {
 	Result() float64
 	// N reports how many raw values have been absorbed.
 	N() int64
+	// Reset returns the aggregator to its freshly constructed state while
+	// retaining internal capacity (buffers, map storage), so pools can
+	// recycle aggregators across groups. After Reset the aggregator must
+	// be indistinguishable from Spec.New()'s result to every other method.
+	Reset()
 }
 
 // New returns a fresh aggregator for the spec. It panics if the spec is
@@ -162,6 +167,7 @@ func (s Spec) New() Aggregator {
 type countAgg struct{ n int64 }
 
 func (a *countAgg) Add(float64)     { a.n++ }
+func (a *countAgg) Reset()          { a.n = 0 }
 func (a *countAgg) N() int64        { return a.n }
 func (a *countAgg) Result() float64 { return float64(a.n) }
 func (a *countAgg) State() []byte {
@@ -183,6 +189,7 @@ type sumAgg struct {
 }
 
 func (a *sumAgg) Add(v float64)   { a.n++; a.sum += v }
+func (a *sumAgg) Reset()          { a.n = 0; a.sum = 0 }
 func (a *sumAgg) N() int64        { return a.n }
 func (a *sumAgg) Result() float64 { return a.sum }
 func (a *sumAgg) State() []byte {
@@ -213,6 +220,7 @@ func (a *extremeAgg) Add(v float64) {
 	}
 	a.n++
 }
+func (a *extremeAgg) Reset()   { a.n = 0; a.val = 0 }
 func (a *extremeAgg) N() int64 { return a.n }
 func (a *extremeAgg) Result() float64 {
 	if a.n == 0 {
@@ -251,6 +259,7 @@ type momentAgg struct {
 }
 
 func (a *momentAgg) Add(v float64) { a.n++; a.sum += v; a.sumSq += v * v }
+func (a *momentAgg) Reset()        { a.n = 0; a.sum = 0; a.sumSq = 0 }
 func (a *momentAgg) N() int64      { return a.n }
 func (a *momentAgg) Result() float64 {
 	if a.n == 0 {
@@ -301,6 +310,7 @@ type bufferAgg struct {
 }
 
 func (a *bufferAgg) Add(v float64) { a.vals = append(a.vals, v) }
+func (a *bufferAgg) Reset()        { a.vals = a.vals[:0] }
 func (a *bufferAgg) N() int64      { return int64(len(a.vals)) }
 func (a *bufferAgg) Result() float64 {
 	n := len(a.vals)
@@ -351,6 +361,7 @@ type distinctAgg struct {
 }
 
 func (a *distinctAgg) Add(v float64) { a.n++; a.seen[v] = true }
+func (a *distinctAgg) Reset()        { a.n = 0; clear(a.seen) }
 func (a *distinctAgg) N() int64      { return a.n }
 func (a *distinctAgg) Result() float64 {
 	if a.n == 0 {

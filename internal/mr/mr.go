@@ -56,6 +56,9 @@ type TaskStats struct {
 	GroupSpillBytes int64
 	EvalRecords     int64
 	OutputRecords   int64
+	EvalArenaBytes  int64 // high-water footprint of the evaluator session's arenas
+	AggPoolHits     int64 // aggregators served by the session pool instead of a fresh allocation
+	WindowLookups   int64 // sibling-window probes during sliding-measure evaluation
 }
 
 // JobStats aggregates a run's counters.
