@@ -272,7 +272,8 @@ func MemoryDataset(schema *Schema, records []Record, splits int) *Dataset {
 // TransportFactory creates the shuffle transport for a job.
 type TransportFactory = transport.Factory
 
-// TCPTransport returns a factory that shuffles over loopback TCP with gob
+// TCPTransport returns a factory that shuffles over loopback TCP with
+// length-prefixed binary
 // framing instead of in-memory channels; set it as Config.Transport to
 // exercise real network paths. buffer sizes each reducer's receive
 // channel (< 1 uses the default).

@@ -160,17 +160,17 @@ func (e *Engine) occupancyJob(ds *Dataset, g cube.Grain) ([][]int64, mr.JobStats
 		}
 		coord := make([]int64, arity)
 		s.CoordOf(rec, g, coord)
-		return ctx.Emit(cube.EncodeCoords(coord), nil)
+		return ctx.EmitString(cube.EncodeCoords(coord), nil)
 	}
-	reduceFn := func(ctx *mr.ReduceCtx, key string, values *mr.GroupIter) error {
+	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		if err := values.Drain(); err != nil {
 			return err
 		}
-		coords, err := cube.DecodeCoords(key, arity)
+		coords, err := cube.DecodeCoords(string(key), arity)
 		if err != nil {
 			return err
 		}
-		ctx.Emit("occ", encodeMeasureRecord(coords, 0))
+		ctx.EmitString("occ", encodeMeasureRecord(coords, 0))
 		return nil
 	}
 	rows, js, err := e.runRowsJob(ds.Input, mapFn, reduceFn, arity)
@@ -204,9 +204,9 @@ func (e *Engine) basicJob(ds *Dataset, m *workflow.Measure) ([]struct {
 		if m.InputAttr >= 0 {
 			v = float64(rec[m.InputAttr])
 		}
-		return ctx.Emit(cube.EncodeCoords(coord), encodeFloat(v))
+		return ctx.EmitString(cube.EncodeCoords(coord), encodeFloat(v))
 	}
-	reduceFn := func(ctx *mr.ReduceCtx, key string, values *mr.GroupIter) error {
+	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		agg := m.Agg.New()
 		for {
 			p, ok, err := values.Next()
@@ -223,11 +223,11 @@ func (e *Engine) basicJob(ds *Dataset, m *workflow.Measure) ([]struct {
 		if math.IsNaN(v) {
 			return nil
 		}
-		coords, err := cube.DecodeCoords(key, arity)
+		coords, err := cube.DecodeCoords(string(key), arity)
 		if err != nil {
 			return err
 		}
-		ctx.Emit(m.Name, encodeMeasureRecord(coords, v))
+		ctx.EmitString(m.Name, encodeMeasureRecord(coords, v))
 		return nil
 	}
 	return e.runRowsJob(ds.Input, mapFn, reduceFn, arity)
@@ -298,9 +298,9 @@ func (e *Engine) joinJob(w *workflow.Workflow, m *workflow.Measure, srcRows [][]
 		for i := range jc {
 			jc[i] = s.Attr(i).RollBetween(coords[i], from[i], join[i])
 		}
-		return ctx.Emit(cube.EncodeCoords(jc), append([]byte{tag}, encodeMeasureRecord(coords, v)...))
+		return ctx.EmitString(cube.EncodeCoords(jc), append([]byte{tag}, encodeMeasureRecord(coords, v)...))
 	}
-	reduceFn := func(ctx *mr.ReduceCtx, key string, values *mr.GroupIter) error {
+	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		perSrc := make([]map[string]float64, len(srcs))
 		for i := range perSrc {
 			perSrc[i] = map[string]float64{}
@@ -340,7 +340,7 @@ func (e *Engine) joinJob(w *workflow.Workflow, m *workflow.Measure, srcRows [][]
 				args[i] = v
 			}
 			if v := m.Expr.Eval(args); !math.IsNaN(v) {
-				ctx.Emit(m.Name, encodeMeasureRecord(c, v))
+				ctx.EmitString(m.Name, encodeMeasureRecord(c, v))
 			}
 		}
 		return nil
@@ -371,9 +371,9 @@ func (e *Engine) rollupJob(w *workflow.Workflow, m *workflow.Measure, srcRows []
 		for i := range parent {
 			parent[i] = s.Attr(i).RollBetween(coords[i], src.Grain[i], m.Grain[i])
 		}
-		return ctx.Emit(cube.EncodeCoords(parent), encodeFloat(v))
+		return ctx.EmitString(cube.EncodeCoords(parent), encodeFloat(v))
 	}
-	reduceFn := func(ctx *mr.ReduceCtx, key string, values *mr.GroupIter) error {
+	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		agg := m.Agg.New()
 		for {
 			p, ok, err := values.Next()
@@ -387,11 +387,11 @@ func (e *Engine) rollupJob(w *workflow.Workflow, m *workflow.Measure, srcRows []
 			agg.Add(decodeFloat(p.Value))
 		}
 		if v := agg.Result(); !math.IsNaN(v) {
-			coords, err := cube.DecodeCoords(key, arity)
+			coords, err := cube.DecodeCoords(string(key), arity)
 			if err != nil {
 				return err
 			}
-			ctx.Emit(m.Name, encodeMeasureRecord(coords, v))
+			ctx.EmitString(m.Name, encodeMeasureRecord(coords, v))
 		}
 		return nil
 	}
@@ -418,7 +418,7 @@ func (e *Engine) slidingJob(s *cube.Schema, m *workflow.Measure, srcRows []struc
 			return err
 		}
 		if tag == occTag {
-			return ctx.Emit(cube.EncodeCoords(coords), append([]byte{occTag}, encodeFloat(0)...))
+			return ctx.EmitString(cube.EncodeCoords(coords), append([]byte{occTag}, encodeFloat(0)...))
 		}
 		// Enumerate the target regions whose window covers this source
 		// region: per annotated attribute X with range (l, h), targets at
@@ -431,7 +431,7 @@ func (e *Engine) slidingJob(s *cube.Schema, m *workflow.Measure, srcRows []struc
 				return
 			}
 			if i == len(m.Window) {
-				emitErr = ctx.Emit(cube.EncodeCoords(target), append([]byte{0}, encodeFloat(v)...))
+				emitErr = ctx.EmitString(cube.EncodeCoords(target), append([]byte{0}, encodeFloat(v)...))
 				return
 			}
 			ann := m.Window[i]
@@ -449,7 +449,7 @@ func (e *Engine) slidingJob(s *cube.Schema, m *workflow.Measure, srcRows []struc
 		walk(0)
 		return emitErr
 	}
-	reduceFn := func(ctx *mr.ReduceCtx, key string, values *mr.GroupIter) error {
+	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		agg := m.Agg.New()
 		occupied := false
 		for {
@@ -471,11 +471,11 @@ func (e *Engine) slidingJob(s *cube.Schema, m *workflow.Measure, srcRows []struc
 			return nil
 		}
 		if v := agg.Result(); !math.IsNaN(v) {
-			coords, err := cube.DecodeCoords(key, arity)
+			coords, err := cube.DecodeCoords(string(key), arity)
 			if err != nil {
 				return err
 			}
-			ctx.Emit(m.Name, encodeMeasureRecord(coords, v))
+			ctx.EmitString(m.Name, encodeMeasureRecord(coords, v))
 		}
 		return nil
 	}

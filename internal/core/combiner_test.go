@@ -68,7 +68,7 @@ func TestStreamingCombinerMatchesBufferedMerge(t *testing.T) {
 	for i := range perBasic {
 		perBasic[i] = make(map[string]*merged)
 	}
-	absorb := func(key string, value []byte) error {
+	absorb := func(key, value []byte) error {
 		idx, coords, state, err := decodePartial(value, arity)
 		if err != nil {
 			return err
@@ -84,7 +84,7 @@ func TestStreamingCombinerMatchesBufferedMerge(t *testing.T) {
 	var raw []byte
 	for i, rec := range records {
 		raw = recio.AppendRecord(raw[:0], rec)
-		if err := comb.Add("block", raw); err != nil {
+		if err := comb.Add([]byte("block"), raw); err != nil {
 			t.Fatal(err)
 		}
 		if (i+1)%251 == 0 {
@@ -165,14 +165,14 @@ func TestCombinerFlushDeterministic(t *testing.T) {
 		var raw []byte
 		for i, rec := range records {
 			raw = recio.AppendRecord(raw[:0], rec)
-			if err := comb.Add(fmt.Sprintf("block-%d", i%5), raw); err != nil {
+			if err := comb.Add([]byte(fmt.Sprintf("block-%d", i%5)), raw); err != nil {
 				t.Fatal(err)
 			}
 		}
 		var keys []string
 		var vals [][]byte
-		if err := comb.Flush(func(k string, v []byte) error {
-			keys = append(keys, k)
+		if err := comb.Flush(func(k, v []byte) error {
+			keys = append(keys, string(k))
 			vals = append(vals, v)
 			return nil
 		}); err != nil {

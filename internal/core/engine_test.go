@@ -385,11 +385,11 @@ func TestCountRecords(t *testing.T) {
 func TestBlockPrefix(t *testing.T) {
 	coords := []int64{5, 1234567, 0, 88}
 	block := cube.EncodeCoords(coords)
-	key := block + "suffix-bytes"
-	if got := blockPrefix(key, 4); got != block {
-		t.Errorf("blockPrefix = %q, want %q", got, block)
+	key := []byte(block + "suffix-bytes")
+	if got := string(key[:blockPrefixLen(key, 4)]); got != block {
+		t.Errorf("blockPrefixLen = %q, want %q", got, block)
 	}
-	if got := blockPrefix(block, 4); got != block {
+	if got := string(block[:blockPrefixLen([]byte(block), 4)]); got != block {
 		t.Errorf("exact-length prefix = %q", got)
 	}
 }

@@ -198,28 +198,31 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 	// — the arena-backed evaluator state reused across all of the task's
 	// groups.
 	newMapLocal := func(st *mr.TaskStats) any {
-		return &mapLocal{dk: bm.NewSession()}
+		return &mapLocal{dk: bm.NewSession(), rec: make(cube.Record, arity)}
 	}
 	newReduceLocal := func(st *mr.TaskStats) any {
-		return &reduceLocal{dk: bm.NewSession(), ev: ev.NewSession()}
+		return &reduceLocal{
+			dk:    bm.NewSession(),
+			ev:    ev.NewSession(),
+			names: make(map[string][]byte, len(basics)+len(w.Measures())),
+		}
 	}
 
 	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
 		ml := ctx.Local.(*mapLocal)
 		sess := ml.dk
-		rec := getRecordBuf(arity)
-		defer putRecordBuf(rec)
+		rec := ml.rec // per-task decode buffer: Blocks only reads it
 		if err := recio.DecodeRecordInto(raw, rec); err != nil {
 			return err
 		}
 		for _, block := range sess.Blocks(rec) {
-			key := block
+			key := block // interned: allocated once per distinct block per task
 			if combined {
-				// Emit retains the key, so one string allocation is
-				// inherent; build block+raw through the reused scratch to
-				// avoid the intermediate string(raw) conversion.
-				ml.keyBuf = append(append(ml.keyBuf[:0], block...), raw...)
-				key = string(ml.keyBuf)
+				// Emit retains the key, so the composite block+record
+				// bytes must be owned by the pair; the task arena gives
+				// them a stable home at one allocation per 64KiB of keys
+				// instead of one per pair.
+				key = ml.combinedKey(block, raw)
 			}
 			if err := ctx.Emit(key, raw); err != nil {
 				return err
@@ -236,7 +239,7 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		}
 	}
 
-	reduceFn := func(ctx *mr.ReduceCtx, blockKey string, values *mr.GroupIter) error {
+	reduceFn := func(ctx *mr.ReduceCtx, blockKey []byte, values *mr.GroupIter) error {
 		rl := ctx.Local.(*reduceLocal)
 		es := rl.ev
 		switch e.cfg.Stage {
@@ -290,10 +293,19 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		// this group — emitting copies what survives the filter.
 		sess := rl.dk
 		for _, r := range results {
-			if sess.Owner(r.Region) != blockKey {
+			if !bytes.Equal(sess.Owner(r.Region), blockKey) {
 				continue
 			}
-			ctx.Emit(r.Measure, appendMeasureRecord(make([]byte, 0, len(r.Region.Coord)*3+8), r.Region.Coord, r.Value))
+			// Encode into the task scratch, then copy once at exact size:
+			// the value is handed off to the output, the key is interned
+			// per task so every record of a measure shares one key slice.
+			rl.enc = appendMeasureRecord(rl.enc[:0], r.Region.Coord, r.Value)
+			kb, ok := rl.names[r.Measure]
+			if !ok {
+				kb = []byte(r.Measure)
+				rl.names[r.Measure] = kb
+			}
+			ctx.EmitStable(kb, append([]byte(nil), rl.enc...))
 		}
 		ctx.Stats.KeyCacheHits = sess.Hits
 		ctx.Stats.EvalArenaBytes = es.ArenaBytes
@@ -333,7 +345,9 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		},
 	}
 	if combined {
-		job.Config.GroupBy = func(key string) string { return blockPrefix(key, arity) }
+		// Zero-alloc group identity: the block key is a prefix sub-slice
+		// of the combined shuffle key.
+		job.Config.GroupBy = func(key []byte) []byte { return key[:blockPrefixLen(key, arity)] }
 	}
 	if e.cfg.Stage == StageMapOnly {
 		job.Reduce = nil
@@ -351,16 +365,41 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		Stats:           res.Stats,
 		SampleSeconds:   outcome.SampleSeconds,
 	}
+	// Output assembly is per record, so it probes instead of allocating:
+	// measure lookups go through an interned-name cache keyed by the raw
+	// key bytes, and region coordinates are decoded into chunked arena
+	// storage (one allocation per coordChunk coordinates; handed-out
+	// sub-slices keep aliasing abandoned chunks).
+	byKey := make(map[string]*workflow.Measure, len(w.Measures()))
+	const coordChunk = 4096
+	var coordArena []int64
 	for _, p := range res.Output {
-		m, ok := w.Measure(p.Key)
+		m, ok := byKey[string(p.Key)]
 		if !ok {
-			return nil, fmt.Errorf("core: output for unknown measure %q", p.Key)
+			name := p.KeyString()
+			if m, ok = w.Measure(name); !ok {
+				return nil, fmt.Errorf("core: output for unknown measure %q", name)
+			}
+			byKey[name] = m
 		}
-		coords, v, err := decodeMeasureRecord(p.Value, arity)
-		if err != nil {
+		if len(p.Value) < 8 {
+			return nil, fmt.Errorf("core: truncated measure record")
+		}
+		if cap(coordArena)-len(coordArena) < arity {
+			size := coordChunk
+			if arity > size {
+				size = arity
+			}
+			coordArena = make([]int64, 0, size)
+		}
+		start := len(coordArena)
+		coordArena = coordArena[:start+arity]
+		coords := coordArena[start : start+arity : start+arity]
+		if err := cube.DecodeCoordsInto(p.Value[:len(p.Value)-8], coords); err != nil {
 			return nil, err
 		}
-		out.Measures[p.Key] = append(out.Measures[p.Key], MeasureRecord{
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p.Value[len(p.Value)-8:]))
+		out.Measures[m.Name] = append(out.Measures[m.Name], MeasureRecord{
 			Region: cube.Region{Grain: m.Grain, Coord: coords},
 			Value:  v,
 		})
@@ -431,17 +470,17 @@ func decodeMeasureRecord(b []byte, arity int) ([]int64, float64, error) {
 	if len(b) < 8 {
 		return nil, 0, fmt.Errorf("core: truncated measure record")
 	}
-	coords, err := cube.DecodeCoords(string(b[:len(b)-8]), arity)
-	if err != nil {
+	coords := make([]int64, arity)
+	if err := cube.DecodeCoordsInto(b[:len(b)-8], coords); err != nil {
 		return nil, 0, err
 	}
 	v := math.Float64frombits(binary.LittleEndian.Uint64(b[len(b)-8:]))
 	return coords, v, nil
 }
 
-// blockPrefix extracts the block-key prefix (arity uvarints) from a
-// combined shuffle key.
-func blockPrefix(key string, arity int) string {
+// blockPrefixLen returns the length of the block-key prefix (arity
+// uvarints) of a combined shuffle key.
+func blockPrefixLen(key []byte, arity int) int {
 	off := 0
 	for i := 0; i < arity; i++ {
 		for off < len(key) && key[off] >= 0x80 {
@@ -452,7 +491,7 @@ func blockPrefix(key string, arity int) string {
 	if off > len(key) {
 		off = len(key)
 	}
-	return key[:off]
+	return off
 }
 
 // partialTag prefixes early-aggregation payloads.
@@ -496,17 +535,19 @@ func newEarlyAggCombiner(s *cube.Schema, basics []*workflow.Measure, st *mr.Task
 	}
 }
 
-func (c *earlyAggCombiner) Add(blockKey string, raw []byte) error {
+func (c *earlyAggCombiner) Add(blockKey, raw []byte) error {
 	if err := recio.DecodeRecordInto(raw, c.rec); err != nil {
 		return err
 	}
-	bp, ok := c.blocks[blockKey]
+	// Alloc-free probe; blockKey is only valid during Add, so the map-key
+	// string materialized on first sight of a block is the mandatory copy.
+	bp, ok := c.blocks[string(blockKey)]
 	if !ok {
 		bp = &blockPartials{perBasic: make([]map[string]*partialGroup, len(c.basics))}
 		for i := range bp.perBasic {
 			bp.perBasic[i] = make(map[string]*partialGroup)
 		}
-		c.blocks[blockKey] = bp
+		c.blocks[string(blockKey)] = bp
 	}
 	for i, b := range c.basics {
 		c.s.CoordOf(c.rec, b.Grain, c.coord)
@@ -532,7 +573,7 @@ func (c *earlyAggCombiner) Add(blockKey string, raw []byte) error {
 
 func (c *earlyAggCombiner) Len() int { return c.groups }
 
-func (c *earlyAggCombiner) Flush(emit func(key string, value []byte) error) error {
+func (c *earlyAggCombiner) Flush(emit func(key, value []byte) error) error {
 	// Deterministic flush: blocks in ascending key order, and within a
 	// block the partials in (basic index, region coordinate) order.
 	blockKeys := make([]string, 0, len(c.blocks))
@@ -542,6 +583,9 @@ func (c *earlyAggCombiner) Flush(emit func(key string, value []byte) error) erro
 	sort.Strings(blockKeys)
 	for _, bk := range blockKeys {
 		bp := c.blocks[bk]
+		// One key slice per block per flush, shared by all of the block's
+		// emitted partials — the shuffle retains it but never mutates it.
+		kb := []byte(bk)
 		for i := range c.basics {
 			regionKeys := make([]string, 0, len(bp.perBasic[i]))
 			for rk := range bp.perBasic[i] {
@@ -553,7 +597,7 @@ func (c *earlyAggCombiner) Flush(emit func(key string, value []byte) error) erro
 				// The emitted value is retained by the shuffle until the
 				// job ends, so it gets its own allocation; the map key rk
 				// already IS the encoded region coordinate.
-				if err := emit(bk, appendPartial(nil, i, rk, g.agg.State())); err != nil {
+				if err := emit(kb, appendPartial(nil, i, rk, g.agg.State())); err != nil {
 					return err
 				}
 			}
@@ -609,9 +653,36 @@ func decodePartial(b []byte, arity int) (int, []int64, []byte, error) {
 // mapLocal is one map task's reusable state (mr.Config.NewMapLocal).
 type mapLocal struct {
 	dk *distkey.Session
-	// keyBuf builds combined block+record shuffle keys without the
-	// intermediate string conversion.
-	keyBuf []byte
+	// rec is the task's record decode buffer, reused across records
+	// (nothing downstream retains it — block keys are interned copies).
+	rec cube.Record
+	// chunk is the current combined-key arena chunk. Combined keys are
+	// unique per pair (block prefix + raw record), so they cannot be
+	// interned; the arena instead amortizes their storage to one
+	// allocation per combinedKeyChunk bytes.
+	chunk []byte
+}
+
+// combinedKeyChunk is the allocation granularity of the combined-key
+// arena.
+const combinedKeyChunk = 1 << 16
+
+// combinedKey appends block+raw into the task arena and returns the
+// stable composite key. A full chunk is abandoned (kept alive by the
+// emitted keys pointing into it) and a fresh one started, so handed-out
+// keys are never moved or logically extended by later appends.
+func (ml *mapLocal) combinedKey(block, raw []byte) []byte {
+	need := len(block) + len(raw)
+	if cap(ml.chunk)-len(ml.chunk) < need {
+		size := combinedKeyChunk
+		if need > size {
+			size = need
+		}
+		ml.chunk = make([]byte, 0, size)
+	}
+	start := len(ml.chunk)
+	ml.chunk = append(append(ml.chunk, block...), raw...)
+	return ml.chunk[start:len(ml.chunk):len(ml.chunk)]
 }
 
 // reduceLocal is one reduce task's reusable state
@@ -621,6 +692,11 @@ type mapLocal struct {
 type reduceLocal struct {
 	dk *distkey.Session
 	ev *localeval.Session
+	// enc is the output-record encode scratch; names interns one stable
+	// []byte per measure name for EmitStable (output keys are retained by
+	// the framework uncopied, so they must never be scratch).
+	enc   []byte
+	names map[string][]byte
 }
 
 // loadGroup streams a group's raw records straight into the evaluator

@@ -94,19 +94,29 @@ func EncodeCoords(coord []int64) string {
 // DecodeCoords reverses EncodeCoords given the expected arity.
 func DecodeCoords(key string, arity int) ([]int64, error) {
 	coord := make([]int64, arity)
-	b := []byte(key)
-	for i := 0; i < arity; i++ {
+	if err := DecodeCoordsInto([]byte(key), coord); err != nil {
+		return nil, err
+	}
+	return coord, nil
+}
+
+// DecodeCoordsInto decodes an encoded coordinate key into coord (whose
+// length is the expected arity) without allocating: the byte-slice form
+// for hot paths that hold encoded keys as []byte and reuse the
+// destination.
+func DecodeCoordsInto(b []byte, coord []int64) error {
+	for i := range coord {
 		v, n := binary.Uvarint(b)
 		if n <= 0 {
-			return nil, fmt.Errorf("cube: truncated coordinate key at position %d", i)
+			return fmt.Errorf("cube: truncated coordinate key at position %d", i)
 		}
 		coord[i] = int64(v)
 		b = b[n:]
 	}
 	if len(b) != 0 {
-		return nil, fmt.Errorf("cube: %d trailing bytes in coordinate key", len(b))
+		return fmt.Errorf("cube: %d trailing bytes in coordinate key", len(b))
 	}
-	return coord, nil
+	return nil
 }
 
 // Key returns a compact map key unique among regions of the same grain.

@@ -1,6 +1,7 @@
 package distkey
 
 import (
+	"bytes"
 	"fmt"
 
 	"github.com/casm-project/casm/internal/cube"
@@ -124,7 +125,7 @@ func (bm *BlockMapper) blockCoord(src, dst []int64) {
 func (bm *BlockMapper) BlocksFor(rec cube.Record, emit func(blockKey string)) {
 	ss := bm.NewSession()
 	for _, k := range ss.Blocks(rec) {
-		emit(k)
+		emit(string(k))
 	}
 }
 
@@ -134,14 +135,14 @@ func (bm *BlockMapper) BlocksFor(rec cube.Record, emit func(blockKey string)) {
 // keys, which generalize every measure grain). Allocating form of
 // Session.Owner.
 func (bm *BlockMapper) Owner(r cube.Region) string {
-	return bm.NewSession().Owner(r)
+	return string(bm.NewSession().Owner(r))
 }
 
 // HomeBlock returns the block key of rec's home block (no delta
 // adjustment), used by the non-overlapping fast path and by tests.
 // Allocating form of Session.HomeBlock.
 func (bm *BlockMapper) HomeBlock(rec cube.Record) string {
-	return bm.NewSession().HomeBlock(rec)
+	return string(bm.NewSession().HomeBlock(rec))
 }
 
 // maxInterned bounds a session's intern cache. A mapper task normally
@@ -153,25 +154,30 @@ const maxInterned = 1 << 17
 
 // Session is the per-task scratch state for one BlockMapper user: the
 // coordinate/block buffers that BlocksFor, Owner and HomeBlock would
-// otherwise allocate per call, plus an intern cache of block-key strings.
-// Records arrive clustered in practice, so a last-block fast path and a
-// small map keyed by the encoded block coordinates turn the per-record
-// EncodeCoords string allocation into a cache hit.
+// otherwise allocate per call, plus an intern cache of arena-backed
+// block-key byte slices. Records arrive clustered in practice, so a
+// last-block fast path and a small map keyed by the encoded block
+// coordinates turn the per-record key encoding into a cache hit; a miss
+// copies the key into the session's arena exactly once.
 //
-// Interning contract: the returned key strings are SHARED across calls
+// Interning contract: the returned key slices are SHARED across calls
 // (and with every other consumer of the same session) — callers must
-// treat them as immutable values and must never assume a fresh allocation.
-// A Session is single-goroutine; the BlockMapper itself stays read-only
-// and may be shared by any number of sessions.
+// treat them as immutable and must never assume a fresh allocation. The
+// arena is chunked and chunks are never reallocated or reused, so every
+// key the session has ever returned stays valid (and byte-stable) for
+// the session's lifetime — shuffle batches may retain them for the whole
+// job. A Session is single-goroutine; the BlockMapper itself stays
+// read-only and may be shared by any number of sessions.
 type Session struct {
 	bm *BlockMapper
 
 	coord, block []int64
 	los, his     []int64
-	keys         []string // reused Blocks output slice
+	keys         [][]byte // reused Blocks output slice
 	enc          []byte   // reused block-coord encode buffer
-	lastKey      string   // intern fast path: key of the last encoded block
-	interned     map[string]string
+	lastKey      []byte   // intern fast path: key of the last encoded block
+	interned     map[string][]byte
+	arena        []byte // current arena chunk; old chunks stay live via interned keys
 
 	// Hits counts intern-cache hits (last-block fast path included);
 	// Misses counts keys that had to be allocated. The engine surfaces
@@ -189,17 +195,38 @@ func (bm *BlockMapper) NewSession() *Session {
 		los:      make([]int64, len(bm.annAttrs)),
 		his:      make([]int64, len(bm.annAttrs)),
 		enc:      make([]byte, 0, n*3),
-		interned: make(map[string]string),
+		interned: make(map[string][]byte),
 	}
 }
 
-// intern returns the canonical key string for the block coordinates in
-// ss.block, allocating only on first sight.
-func (ss *Session) intern() string {
+// arenaChunk is the allocation granularity of a session's key arena: one
+// make per 64KiB of distinct key bytes instead of one per key.
+const arenaChunk = 1 << 16
+
+// arenaCopy copies b into the session arena and returns the stable copy.
+// A full chunk is abandoned (kept alive by the keys pointing into it)
+// and a fresh one started — chunks never grow in place, so handed-out
+// key slices can never be moved or logically extended.
+func (ss *Session) arenaCopy(b []byte) []byte {
+	if cap(ss.arena)-len(ss.arena) < len(b) {
+		size := arenaChunk
+		if len(b) > size {
+			size = len(b)
+		}
+		ss.arena = make([]byte, 0, size)
+	}
+	start := len(ss.arena)
+	ss.arena = append(ss.arena, b...)
+	return ss.arena[start:len(ss.arena):len(ss.arena)]
+}
+
+// intern returns the canonical key bytes for the block coordinates in
+// ss.block, copying into the arena only on first sight.
+func (ss *Session) intern() []byte {
 	ss.enc = cube.AppendCoords(ss.enc[:0], ss.block)
 	// Last-block fast path: consecutive records overwhelmingly map to the
 	// same block when the data is clustered along the annotated attribute.
-	if string(ss.enc) == ss.lastKey && ss.lastKey != "" {
+	if len(ss.lastKey) > 0 && bytes.Equal(ss.enc, ss.lastKey) {
 		ss.Hits++
 		return ss.lastKey
 	}
@@ -211,8 +238,8 @@ func (ss *Session) intern() string {
 	if len(ss.interned) >= maxInterned {
 		clear(ss.interned)
 	}
-	k := string(ss.enc)
-	ss.interned[k] = k
+	k := ss.arenaCopy(ss.enc)
+	ss.interned[string(k)] = k
 	ss.Misses++
 	ss.lastKey = k
 	return k
@@ -220,9 +247,10 @@ func (ss *Session) intern() string {
 
 // Blocks returns the block keys record rec must be dispatched to, home
 // block first (the semantics of BlockMapper.BlocksFor). The returned
-// slice is reused by the next Blocks call; the key strings are interned
-// and stay valid for the session's lifetime.
-func (ss *Session) Blocks(rec cube.Record) []string {
+// outer slice is reused by the next Blocks call; the key byte slices are
+// interned in the session arena and stay valid for the session's
+// lifetime.
+func (ss *Session) Blocks(rec cube.Record) [][]byte {
 	bm := ss.bm
 	bm.schema.CoordOf(rec, bm.key.Grain, ss.coord)
 	bm.blockCoord(ss.coord, ss.block)
@@ -261,7 +289,9 @@ func (ss *Session) Blocks(rec cube.Record) []string {
 		ss.block[x] = ss.los[i]
 	}
 	for {
-		if k := ss.intern(); k != home {
+		// Interned keys are canonical, so pointer identity (&k[0] ==
+		// &home[0]) would suffice; bytes.Equal is as cheap and clearer.
+		if k := ss.intern(); !bytes.Equal(k, home) {
 			ss.keys = append(ss.keys, k)
 		}
 		i := len(bm.annAttrs) - 1
@@ -282,7 +312,7 @@ func (ss *Session) Blocks(rec cube.Record) []string {
 // Owner is the allocation-free form of BlockMapper.Owner: the returned
 // key is interned in the session's cache (the reduce-side ownership
 // filter probes the same few block keys over and over).
-func (ss *Session) Owner(r cube.Region) string {
+func (ss *Session) Owner(r cube.Region) []byte {
 	bm := ss.bm
 	for i := range ss.coord {
 		ss.coord[i] = bm.schema.Attr(i).RollBetween(r.Coord[i], r.Grain[i], bm.key.Grain[i])
@@ -292,7 +322,7 @@ func (ss *Session) Owner(r cube.Region) string {
 }
 
 // HomeBlock is the allocation-free form of BlockMapper.HomeBlock.
-func (ss *Session) HomeBlock(rec cube.Record) string {
+func (ss *Session) HomeBlock(rec cube.Record) []byte {
 	bm := ss.bm
 	bm.schema.CoordOf(rec, bm.key.Grain, ss.coord)
 	bm.blockCoord(ss.coord, ss.block)

@@ -341,18 +341,18 @@ func TestSessionMatchesPerCall(t *testing.T) {
 					t.Fatalf("record %d: session emitted %d blocks, per-call %d", i, len(got), len(want))
 				}
 				for j := range got {
-					if got[j] != want[j] {
+					if string(got[j]) != want[j] {
 						t.Fatalf("record %d block %d: session %q, per-call %q", i, j, got[j], want[j])
 					}
-					distinct[got[j]] = true
+					distinct[string(got[j])] = true
 				}
 				interns += int64(len(got))
-				if h, w := ss.HomeBlock(rec), bm.HomeBlock(rec); h != w {
+				if h, w := string(ss.HomeBlock(rec)), bm.HomeBlock(rec); h != w {
 					t.Fatalf("record %d: session home %q, per-call %q", i, h, w)
 				}
 				interns++
 				r := s.RegionOf(rec, key.Grain)
-				if o, w := ss.Owner(r), bm.Owner(r); o != w {
+				if o, w := string(ss.Owner(r)), bm.Owner(r); o != w {
 					t.Fatalf("record %d: session owner %q, per-call %q", i, o, w)
 				}
 				interns++
@@ -371,9 +371,10 @@ func TestSessionMatchesPerCall(t *testing.T) {
 	}
 }
 
-// TestSessionKeysStayValid pins the interning contract: keys returned by
-// earlier Blocks calls must stay valid (the returned slice is reused, but
-// the strings are interned for the session's lifetime).
+// TestSessionKeysStayValid pins the interning contract: key bytes
+// returned by earlier Blocks calls must stay valid and byte-stable (the
+// returned outer slice is reused, but the key bytes live in arena chunks
+// that are never reallocated for the session's lifetime).
 func TestSessionKeysStayValid(t *testing.T) {
 	s := blockSchema(t)
 	ti, _ := s.AttrIndex("t")
@@ -386,16 +387,16 @@ func TestSessionKeysStayValid(t *testing.T) {
 	ss := bm.NewSession()
 	rng := rand.New(rand.NewSource(6))
 	recs := make([]cube.Record, 300)
-	saved := make([][]string, len(recs))
+	saved := make([][][]byte, len(recs))
 	for i := range recs {
 		recs[i] = cube.Record{rng.Int63n(100), rng.Int63n(4 * 86400)}
-		saved[i] = append([]string(nil), ss.Blocks(recs[i])...)
+		saved[i] = append([][]byte(nil), ss.Blocks(recs[i])...)
 	}
 	for i, rec := range recs {
 		var want []string
 		bm.BlocksFor(rec, func(b string) { want = append(want, b) })
 		for j := range want {
-			if saved[i][j] != want[j] {
+			if string(saved[i][j]) != want[j] {
 				t.Fatalf("record %d block %d changed after later session use", i, j)
 			}
 		}

@@ -20,8 +20,8 @@
 package groupx
 
 import (
+	"bytes"
 	"slices"
-	"strings"
 
 	"github.com/casm-project/casm/internal/sortx"
 	"github.com/casm-project/casm/internal/transport"
@@ -38,8 +38,9 @@ type Stats struct {
 }
 
 // Iterator yields a collector's pairs, grouped, in ascending group-key
-// order. A pair's Value is only guaranteed valid until the following Next
-// call (spilled pairs alias reused read buffers — the sortx contract).
+// order. A pair's Key and Value are only guaranteed valid until the
+// following Next call (spilled pairs alias reused read buffers — the
+// sortx contract).
 type Iterator interface {
 	Next() (transport.Pair, bool, error)
 	Close()
@@ -54,8 +55,10 @@ type Collector interface {
 }
 
 // PairKeyCompare orders pairs by their full shuffle key, the comparison
-// both collectors spill and merge under.
-func PairKeyCompare(a, b transport.Pair) int { return strings.Compare(a.Key, b.Key) }
+// both collectors spill and merge under. bytes.Compare orders byte keys
+// exactly as strings.Compare ordered their string forms, so the output
+// stream is bit-identical to the string-keyed implementation.
+func PairKeyCompare(a, b transport.Pair) int { return bytes.Compare(a.Key, b.Key) }
 
 // --- sorted path ---
 
@@ -87,7 +90,7 @@ func (c *sortCollector) Stats() Stats {
 // --- hash path ---
 
 type hashGroup struct {
-	key   string
+	key   []byte
 	pairs []transport.Pair
 }
 
@@ -123,12 +126,14 @@ func NewHash(codec sortx.Codec[transport.Pair], dir string, memItems int) Collec
 }
 
 func (c *hashCollector) Add(p transport.Pair) error {
-	g, ok := c.groups[p.Key]
+	// map[string(bytes)] probes without allocating; the map-key string
+	// only materializes on first sight of a distinct group. p.Key doubles
+	// as the group key — transport bytes stay valid for the job, so this
+	// retains a borrowed slice, not a copy.
+	g, ok := c.groups[string(p.Key)]
 	if !ok {
-		// p.Key doubles as the group key: shuffle keys are interned
-		// map-side, so this retains a shared string, not a copy.
 		g = &hashGroup{key: p.Key}
-		c.groups[p.Key] = g
+		c.groups[string(p.Key)] = g
 		c.stats.Groups++
 	}
 	g.pairs = append(g.pairs, p)
@@ -146,12 +151,14 @@ func (c *hashCollector) sortedGroups() []*hashGroup {
 	for _, g := range c.groups {
 		gs = append(gs, g)
 	}
-	slices.SortFunc(gs, func(a, b *hashGroup) int { return strings.Compare(a.key, b.key) })
+	slices.SortFunc(gs, func(a, b *hashGroup) int { return bytes.Compare(a.key, b.key) })
 	return gs
 }
 
 // flush moves every buffered pair into the spill sorter in (group key,
-// arrival) order and resets the table.
+// arrival) order and resets the table. Pairs carry their original key
+// bytes straight into the byte-keyed spill codec — no string round-trip
+// anywhere on the spill path.
 func (c *hashCollector) flush() error {
 	if c.sorter == nil {
 		c.sorter = sortx.New(PairKeyCompare, c.codec, c.dir, c.memItems)

@@ -1,6 +1,7 @@
 package groupx
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -24,11 +25,11 @@ func (testCodec) Decode(b []byte) (transport.Pair, error) {
 	if k <= 0 || uint64(len(b)-k) < n {
 		return transport.Pair{}, fmt.Errorf("corrupt pair")
 	}
-	return transport.Pair{Key: string(b[k : k+int(n)]), Value: b[k+int(n):]}, nil
+	return transport.Pair{Key: b[k : k+int(n) : k+int(n)], Value: b[k+int(n):]}, nil
 }
 
-// drain materializes a collector's output (copying values, which may
-// alias reused read buffers).
+// drain materializes a collector's output (copying keys and values,
+// which may alias reused read buffers).
 func drain(t *testing.T, c Collector) []transport.Pair {
 	t.Helper()
 	it, err := c.Iterate()
@@ -45,7 +46,10 @@ func drain(t *testing.T, c Collector) []transport.Pair {
 		if !ok {
 			return out
 		}
-		out = append(out, transport.Pair{Key: p.Key, Value: append([]byte(nil), p.Value...)})
+		out = append(out, transport.Pair{
+			Key:   append([]byte(nil), p.Key...),
+			Value: append([]byte(nil), p.Value...),
+		})
 	}
 }
 
@@ -56,7 +60,7 @@ func randomPairs(rng *rand.Rand, n, nKeys int) []transport.Pair {
 	for i := range pairs {
 		v := make([]byte, 8)
 		binary.LittleEndian.PutUint64(v, uint64(i))
-		pairs[i] = transport.Pair{Key: fmt.Sprintf("k%03d", rng.Intn(nKeys)), Value: v}
+		pairs[i] = transport.PairS(fmt.Sprintf("k%03d", rng.Intn(nKeys)), v)
 	}
 	return pairs
 }
@@ -85,7 +89,7 @@ func TestHashMatchesSort(t *testing.T) {
 				t.Fatalf("n=%d mem=%d: hash yielded %d pairs, sort %d", n, mem, len(got), len(want))
 			}
 			for i := range got {
-				if got[i].Key != want[i].Key || string(got[i].Value) != string(want[i].Value) {
+				if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
 					t.Fatalf("n=%d mem=%d: pair %d: hash (%q,%x), sort (%q,%x)",
 						n, mem, i, got[i].Key, got[i].Value, want[i].Key, want[i].Value)
 				}
@@ -114,15 +118,15 @@ func TestHashGroupsContiguousArrivalOrder(t *testing.T) {
 	lastArrival := int64(-1)
 	seen := map[string]bool{}
 	for _, p := range out {
-		if p.Key != lastKey {
-			if seen[p.Key] {
+		if string(p.Key) != lastKey {
+			if seen[string(p.Key)] {
 				t.Fatalf("group %q not contiguous", p.Key)
 			}
-			if p.Key < lastKey {
+			if string(p.Key) < lastKey {
 				t.Fatalf("group %q after %q: not ascending", p.Key, lastKey)
 			}
-			seen[p.Key] = true
-			lastKey, lastArrival = p.Key, -1
+			seen[string(p.Key)] = true
+			lastKey, lastArrival = string(p.Key), -1
 		}
 		a := int64(binary.LittleEndian.Uint64(p.Value))
 		if a <= lastArrival {
@@ -146,7 +150,7 @@ func TestHashSpillAccounting(t *testing.T) {
 	c := NewHash(testCodec{}, t.TempDir(), 4)
 	for i := 0; i < 10; i++ { // 10 pairs, budget 4: two overflow flushes + residue
 		v := []byte{byte(i)}
-		if err := c.Add(transport.Pair{Key: fmt.Sprintf("k%d", i%3), Value: v}); err != nil {
+		if err := c.Add(transport.PairS(fmt.Sprintf("k%d", i%3), v)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,235 @@
+package mr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// TestEmitShuffleGroupAllocs pins the steady-state allocation rate of the
+// per-pair hot path — MapCtx.Emit → partition → batched channel shuffle →
+// hash grouping — at (near) zero. It measures whole-job allocations at
+// two input sizes over the SAME key set and divides the difference by the
+// extra pairs: fixed per-job costs (task setup, channels, the hash
+// table's group entries) cancel out, leaving only what each additional
+// pair costs. With byte-slice keys end to end that is amortized slice
+// regrowth and one batch frame per 256 pairs — well under 0.1 allocs per
+// pair; the old string-keyed plane paid 1+ allocs per pair just
+// materializing keys.
+func TestEmitShuffleGroupAllocs(t *testing.T) {
+	const nKeys = 512
+	mkRecords := func(n int) [][]byte {
+		records := make([][]byte, n)
+		for i := range records {
+			records[i] = []byte(fmt.Sprintf("g%03d %d", i%nKeys, i))
+		}
+		return records
+	}
+	run := func(records [][]byte) {
+		res, err := Run(Job{
+			Input: NewMemoryInput(records, 4),
+			Map: func(ctx *MapCtx, rec []byte) error {
+				for j := 0; j < len(rec); j++ {
+					if rec[j] == ' ' {
+						// Memory-input records are stable for the job's
+						// life, so zero-copy aliasing emits are legal.
+						return ctx.Emit(rec[:j], rec[j+1:])
+					}
+				}
+				return nil
+			},
+			Reduce: func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
+				return values.Drain()
+			},
+			Config: Config{NumReducers: 4, GroupMode: GroupHash},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.TotalOutputRecords() != 0 {
+			t.Fatal("unexpected output")
+		}
+	}
+
+	small, big := mkRecords(16384), mkRecords(65536)
+	run(small) // warm up: lazily initialized runtime state shouldn't bill the measurement
+	allocsSmall := testing.AllocsPerRun(3, func() { run(small) })
+	allocsBig := testing.AllocsPerRun(3, func() { run(big) })
+	perPair := (allocsBig - allocsSmall) / float64(len(big)-len(small))
+	t.Logf("allocs: %.0f @ %d pairs, %.0f @ %d pairs => %.4f allocs/pair",
+		allocsSmall, len(small), allocsBig, len(big), perPair)
+	if perPair > 0.1 {
+		t.Errorf("steady-state hot path costs %.4f allocs/pair, want < 0.1", perPair)
+	}
+}
+
+// stringRefJob is the string-keyed reference shim: the same logical job
+// as the byte-keyed one under test, but every key crosses the API as a
+// Go string via the compatibility wrappers (EmitString, fresh GroupBy
+// copies). The byte-keyed plane must be byte-identical to it.
+func propJob(records [][]byte, stringKeyed bool, mode GroupMode, groupBy func([]byte) []byte) Job {
+	return Job{
+		Input: NewMemoryInput(records, 3),
+		Map: func(ctx *MapCtx, rec []byte) error {
+			j := 0
+			for j < len(rec) && rec[j] != ' ' {
+				j++
+			}
+			if stringKeyed {
+				// Reference shim: key round-trips through a string, value
+				// through a fresh copy.
+				return ctx.EmitString(string(rec[:j]), append([]byte(nil), rec[j+1:]...))
+			}
+			return ctx.Emit(rec[:j], rec[j+1:]) // zero-copy: input records are job-stable
+		},
+		Reduce: func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
+			var sb strings.Builder
+			for {
+				p, ok, err := values.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				sb.WriteString(string(p.Key))
+				sb.WriteByte('=')
+				sb.Write(p.Value)
+				sb.WriteByte(';')
+			}
+			if stringKeyed {
+				ctx.EmitString(string(key), []byte(sb.String()))
+			} else {
+				ctx.Emit(key, []byte(sb.String()))
+			}
+			return nil
+		},
+		Config: Config{
+			NumReducers: 3,
+			// Serialize map tasks so hash-path arrival order is
+			// deterministic across the byte/string runs.
+			MapParallelism:  1,
+			GroupMode:       mode,
+			GroupBy:         groupBy,
+			SortMemoryItems: 2, // force spill runs on both grouping paths
+		},
+	}
+}
+
+func sortedOutput(t *testing.T, job Job) []string {
+	t.Helper()
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(res.Output))
+	for i, p := range res.Output {
+		out[i] = string(p.Key) + "\x00" + string(p.Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestBytePathMatchesStringReference is the zero-copy refactor's
+// equivalence property: across fuzz seeds, with spills forced on every
+// path (SortMemoryItems=2), the byte-keyed data plane must produce output
+// byte-identical to the string-keyed reference shim — under both sorted
+// grouping with a composite key and hash grouping — and, for the sorted
+// mode, to a plain in-memory reference computed with string maps.
+func TestBytePathMatchesStringReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 200 + rng.Intn(400)
+			records := make([][]byte, n)
+			for i := range records {
+				// Composite key "g<k>|<i>": unique per pair, so the sorted
+				// path's within-group order is fully determined.
+				records[i] = []byte(fmt.Sprintf("g%02d|%04d v%d", rng.Intn(17), i, rng.Intn(100)))
+			}
+			prefix := func(k []byte) []byte {
+				for i, c := range k {
+					if c == '|' {
+						return k[:i] // aliasing prefix: the zero-alloc idiom
+					}
+				}
+				return k
+			}
+			prefixCopy := func(k []byte) []byte {
+				// Reference shim's GroupBy: string round-trip, fresh bytes.
+				return []byte(strings.SplitN(string(k), "|", 2)[0])
+			}
+
+			// Sorted grouping with a composite key.
+			gotSort := sortedOutput(t, propJob(records, false, GroupSort, prefix))
+			refSort := sortedOutput(t, propJob(records, true, GroupSort, prefixCopy))
+			if fmt.Sprint(gotSort) != fmt.Sprint(refSort) {
+				t.Errorf("GroupSort: byte-keyed output diverges from string reference\n got %q\nwant %q", gotSort, refSort)
+			}
+
+			// Plain in-memory reference for the sorted mode: sort emitted
+			// pairs by full string key, group by prefix, concatenate.
+			type kv struct{ k, v string }
+			var pairs []kv
+			for _, rec := range records {
+				s := string(rec)
+				j := strings.IndexByte(s, ' ')
+				pairs = append(pairs, kv{s[:j], s[j+1:]})
+			}
+			sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+			var want []string
+			for i := 0; i < len(pairs); {
+				g := strings.SplitN(pairs[i].k, "|", 2)[0]
+				var sb strings.Builder
+				for ; i < len(pairs) && strings.HasPrefix(pairs[i].k, g+"|"); i++ {
+					fmt.Fprintf(&sb, "%s=%s;", pairs[i].k, pairs[i].v)
+				}
+				want = append(want, g+"\x00"+sb.String())
+			}
+			sort.Strings(want)
+			if fmt.Sprint(gotSort) != fmt.Sprint(want) {
+				t.Errorf("GroupSort: byte-keyed output diverges from in-memory reference\n got %q\nwant %q", gotSort, want)
+			}
+
+			// Hash grouping (identity group, arrival order within groups).
+			gotHash := sortedOutput(t, propJob(records, false, GroupHash, nil))
+			refHash := sortedOutput(t, propJob(records, true, GroupHash, nil))
+			if fmt.Sprint(gotHash) != fmt.Sprint(refHash) {
+				t.Errorf("GroupHash: byte-keyed output diverges from string reference\n got %q\nwant %q", gotHash, refHash)
+			}
+		})
+	}
+}
+
+// TestBytePathMatchesStringReferenceTCP re-runs one equivalence seed over
+// the TCP transport, so the binary framing's decode path is covered by
+// the same byte-identity property.
+func TestBytePathMatchesStringReferenceTCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	records := make([][]byte, 300)
+	for i := range records {
+		records[i] = []byte(fmt.Sprintf("g%02d|%04d v%d", rng.Intn(17), i, rng.Intn(100)))
+	}
+	prefix := func(k []byte) []byte {
+		for i, c := range k {
+			if c == '|' {
+				return k[:i]
+			}
+		}
+		return k
+	}
+	withTCP := func(j Job) Job {
+		j.Config.Transport = transport.TCPFactory(0)
+		return j
+	}
+	got := sortedOutput(t, withTCP(propJob(records, false, GroupSort, prefix)))
+	ref := sortedOutput(t, propJob(records, true, GroupSort, prefix))
+	if fmt.Sprint(got) != fmt.Sprint(ref) {
+		t.Errorf("TCP byte-keyed output diverges from channel string reference\n got %q\nwant %q", got, ref)
+	}
+}

@@ -21,12 +21,14 @@ func BenchmarkShuffleTransports(b *testing.B) {
 			Map: func(ctx *MapCtx, rec []byte) error {
 				for j := 0; j < len(rec); j++ {
 					if rec[j] == ' ' {
-						return ctx.Emit(string(rec[:j]), rec[j+1:])
+						// Zero-copy emit: memory-input records are stable for the
+						// job's life, so key and value alias them directly.
+						return ctx.Emit(rec[:j], rec[j+1:])
 					}
 				}
 				return nil
 			},
-			Reduce: func(ctx *ReduceCtx, key string, values *GroupIter) error {
+			Reduce: func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
 				n := 0
 				for {
 					_, ok, err := values.Next()

@@ -24,13 +24,16 @@ func newFuncCombiner(fn CombineFunc, st *TaskStats) *funcCombiner {
 	return &funcCombiner{fn: fn, st: st, states: make(map[string][][]byte)}
 }
 
-func (c *funcCombiner) Add(key string, value []byte) error {
-	state, ok := c.states[key]
+func (c *funcCombiner) Add(key, value []byte) error {
+	// map[string(bytes)] probes without allocating; the key string only
+	// materializes on first sight of a distinct key (the mandatory copy —
+	// key is call-duration-valid).
+	state, ok := c.states[string(key)]
 	// The incoming value is only valid during Add; the fold's output may
 	// alias its inputs, so hand the function a copy it can own.
 	v := append([]byte(nil), value...)
 	if !ok {
-		c.states[key] = [][]byte{v}
+		c.states[string(key)] = [][]byte{v}
 		return nil
 	}
 	c.scratch = append(append(c.scratch[:0], state...), v)
@@ -40,14 +43,14 @@ func (c *funcCombiner) Add(key string, value []byte) error {
 	}
 	// Detach from scratch in the (unusual) case the function returned its
 	// input slice unchanged.
-	c.states[key] = slices.Clip(append(state[:0], merged...))
+	c.states[string(key)] = slices.Clip(append(state[:0], merged...))
 	c.st.CombineMerges++
 	return nil
 }
 
 func (c *funcCombiner) Len() int { return len(c.states) }
 
-func (c *funcCombiner) Flush(emit func(key string, value []byte) error) error {
+func (c *funcCombiner) Flush(emit func(key, value []byte) error) error {
 	keys := make([]string, 0, len(c.states))
 	for k := range c.states {
 		keys = append(keys, k)
@@ -57,8 +60,11 @@ func (c *funcCombiner) Flush(emit func(key string, value []byte) error) error {
 	// order would otherwise vary the send order and the TCP interleaving.
 	slices.Sort(keys)
 	for _, k := range keys {
+		// One fresh key slice per distinct key per flush — it is handed
+		// off to the shuffle, which retains it for the job's duration.
+		kb := []byte(k)
 		for _, v := range c.states[k] {
-			if err := emit(k, v); err != nil {
+			if err := emit(kb, v); err != nil {
 				return err
 			}
 		}

@@ -12,7 +12,7 @@ import (
 
 // sumCombine is a reentrant CombineFunc (its output is parseable as its
 // input), as the streaming contract requires.
-func sumCombine(key string, values [][]byte) ([][]byte, error) {
+func sumCombine(key []byte, values [][]byte) ([][]byte, error) {
 	total := 0
 	for _, v := range values {
 		n, err := strconv.Atoi(string(v))
@@ -44,13 +44,14 @@ func TestFuncCombinerStreamingEqualsBuffered(t *testing.T) {
 	scratch := make([]byte, 0, 8)
 	for i, k := range keys {
 		scratch = strconv.AppendInt(scratch[:0], int64(vals[i]), 10)
-		if err := comb.Add(k, scratch); err != nil {
+		if err := comb.Add([]byte(k), scratch); err != nil {
 			t.Fatal(err)
 		}
 	}
 	streamed := map[string]int{}
 	var flushOrder []string
-	if err := comb.Flush(func(k string, v []byte) error {
+	if err := comb.Flush(func(kb, v []byte) error {
+		k := string(kb)
 		n, err := strconv.Atoi(string(v))
 		if err != nil {
 			return err
@@ -83,7 +84,7 @@ func TestFuncCombinerStreamingEqualsBuffered(t *testing.T) {
 		t.Fatalf("streamed %d keys, want %d", len(streamed), len(grouped))
 	}
 	for k, vs := range grouped {
-		out, err := sumCombine(k, vs)
+		out, err := sumCombine([]byte(k), vs)
 		if err != nil {
 			t.Fatal(err)
 		}

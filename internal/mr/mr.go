@@ -7,12 +7,18 @@
 //     of concurrent map tasks;
 //   - optional map-side combining (the paper's early aggregation);
 //   - a hash-partitioned shuffle over a pluggable transport (in-memory
-//     channels or real TCP/gob);
+//     channels or real TCP with binary framing);
 //   - reducer-side grouping via external sort, with a configurable group
 //     identity so a composite sort key can carry a secondary order (the
 //     Section III-D combined-key optimization);
 //   - per-task counters that feed the cost model, and fault injection
 //     with bounded task retry.
+//
+// The record data plane is byte-keyed end to end: keys travel as []byte
+// from MapCtx.Emit through the shuffle, the reducer's grouping collector,
+// and GroupIter without ever materializing a Go string, so the hot path
+// allocates nothing per pair. String-keyed entry points survive as
+// explicit compatibility shims (EmitString and friends).
 //
 // The framework is intentionally synchronous per job: Run executes the
 // whole job and returns its output and statistics.
@@ -20,7 +26,6 @@ package mr
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"time"
 
@@ -103,23 +108,33 @@ type MapCtx struct {
 	// etc. for engine-specific accounting.
 	Stats *TaskStats
 	// Local is per-task user state created by Config.NewMapLocal (nil
-	// otherwise): scratch buffers, key-intern caches — anything a map
-	// function needs to carry across records without sharing it between
+	// otherwise): scratch buffers, key arenas — anything a map function
+	// needs to carry across records without sharing it between
 	// concurrently running tasks.
 	Local any
-	emit  func(key string, value []byte) error
+	emit  func(key, value []byte) error
 }
 
 // Emit sends one key/value pair into the shuffle.
 //
-// Value ownership: without a combiner the framework does NOT copy value —
-// it is buffered in shuffle batches and retained until the job completes,
-// so it must reference memory that stays valid and unmodified for the
-// job's duration (input-split block bytes and freshly allocated slices
-// both qualify; a scratch buffer the mapper rewrites does not). With a
-// combiner, value only needs to stay valid for the duration of the Emit
-// call — the combiner folds it into its partial state immediately.
-func (c *MapCtx) Emit(key string, value []byte) error { return c.emit(key, value) }
+// Ownership: without a combiner the framework does NOT copy key or value
+// — they are buffered in shuffle batches and retained until the job
+// completes, so both must reference memory that stays valid and
+// unmodified for the job's duration (input-split block bytes, interned
+// or arena-backed keys, and freshly allocated slices all qualify; a
+// scratch buffer the mapper rewrites does not). With a combiner, key and
+// value only need to stay valid for the duration of the Emit call — the
+// combiner copies the key on first sight and folds the value into its
+// partial state immediately.
+func (c *MapCtx) Emit(key, value []byte) error { return c.emit(key, value) }
+
+// EmitString is the string-keyed compatibility wrapper around Emit; the
+// key bytes of a Go string are immutable and so always satisfy Emit's
+// ownership rule. It is slated for removal once its callers migrate
+// (see DESIGN.md); hot paths should call Emit with byte-slice keys.
+func (c *MapCtx) EmitString(key string, value []byte) error {
+	return c.emit([]byte(key), value)
+}
 
 // MapFunc processes one input record.
 type MapFunc func(ctx *MapCtx, record []byte) error
@@ -131,23 +146,25 @@ type MapFunc func(ctx *MapCtx, record []byte) error
 // (the standard Hadoop combiner contract — the function must be
 // associative over its output representation). Implementations needing to
 // distinguish raw records from partial states should use the Combiner
-// interface instead. Input value slices are owned by the framework;
-// outputs may alias them.
-type CombineFunc func(key string, values [][]byte) ([][]byte, error)
+// interface instead. The key is only valid during the call; input value
+// slices are owned by the framework and outputs may alias them.
+type CombineFunc func(key []byte, values [][]byte) ([][]byte, error)
 
 // Combiner is the streaming form of map-side early aggregation
 // (morsel-style thread-local pre-aggregation): one instance serves one
 // map task, absorbing emitted pairs into per-key partial states and
 // emitting them on flush. Implementations are single-goroutine.
 type Combiner interface {
-	// Add folds one emitted pair into the key's partial state. value is
-	// only valid during the call; retain a copy if needed.
-	Add(key string, value []byte) error
+	// Add folds one emitted pair into the key's partial state. key and
+	// value are only valid during the call; the combiner must copy (or
+	// intern) whatever it retains.
+	Add(key, value []byte) error
 	// Flush emits every buffered partial state in ascending key order
 	// (keeping shuffle send order deterministic) and resets the combiner.
-	// Emitted values are handed off to the framework (see MapCtx.Emit's
-	// no-combiner ownership rule).
-	Flush(emit func(key string, value []byte) error) error
+	// Emitted keys and values are handed off to the framework (see
+	// MapCtx.Emit's no-combiner ownership rule: they must stay valid for
+	// the job's duration).
+	Flush(emit func(key, value []byte) error) error
 	// Len reports the number of buffered partial states, the framework's
 	// flush trigger.
 	Len() int
@@ -164,21 +181,42 @@ type ReduceCtx struct {
 	// Local is per-task user state created by Config.NewReduceLocal (nil
 	// otherwise); see MapCtx.Local.
 	Local any
-	emit  func(key string, value []byte)
+	emit  func(key, value []byte)
 }
 
-// Emit contributes one record to the job output. The framework takes
-// ownership of value without copying it: the reducer must not reuse or
-// mutate the slice afterwards.
-func (c *ReduceCtx) Emit(key string, value []byte) {
+// Emit contributes one record to the job output. The framework COPIES
+// key (so borrowed group keys and reused name buffers are safe to pass)
+// but takes ownership of value without copying: the reducer must not
+// reuse or mutate the value slice afterwards.
+func (c *ReduceCtx) Emit(key, value []byte) {
+	c.Stats.OutputRecords++
+	c.emit(append([]byte(nil), key...), value)
+}
+
+// EmitString is the string-keyed compatibility wrapper around Emit,
+// slated for removal once its callers migrate (see DESIGN.md); hot paths
+// should call Emit with byte-slice keys.
+func (c *ReduceCtx) EmitString(key string, value []byte) {
+	c.Stats.OutputRecords++
+	c.emit([]byte(key), value)
+}
+
+// EmitStable is Emit without the key copy, for reducers that emit many
+// records under few distinct keys: the caller guarantees key stays valid
+// and unmodified for the job's duration (an interned or arena-backed key
+// qualifies; a reused scratch buffer does not). The framework retains it
+// uncopied, so output pairs of the same key share one allocation. Value
+// ownership matches Emit: handed off uncopied.
+func (c *ReduceCtx) EmitStable(key, value []byte) {
 	c.Stats.OutputRecords++
 	c.emit(key, value)
 }
 
 // ReduceFunc processes one group. Values arrive ordered by the full
 // shuffle key (useful with a composite key); the group boundary is
-// defined by Config.GroupBy.
-type ReduceFunc func(ctx *ReduceCtx, groupKey string, values *GroupIter) error
+// defined by Config.GroupBy. groupKey is only valid for the duration of
+// the call — retain a copy if needed.
+type ReduceFunc func(ctx *ReduceCtx, groupKey []byte, values *GroupIter) error
 
 // GroupMode selects how a reducer groups its shuffled pairs.
 type GroupMode int
@@ -240,12 +278,16 @@ type Config struct {
 	SortMemoryItems int
 	// TempDir hosts spill files (default OS temp).
 	TempDir string
-	// Partition maps a key to a reducer (default FNV-1a hash).
-	Partition func(key string, numReducers int) int
+	// Partition maps a key to a reducer (default FNV-1a hash). It must
+	// not retain or mutate the key bytes.
+	Partition func(key []byte, numReducers int) int
 	// GroupBy extracts the group identity from a shuffle key (default
 	// identity). With a composite key "block|sortsuffix" the engine sets
-	// this to strip the suffix, realizing the combined-key sort.
-	GroupBy func(key string) string
+	// this to strip the suffix, realizing the combined-key sort. The
+	// returned slice may alias the input key (a prefix sub-slice is the
+	// zero-alloc idiom) and must not be retained by the framework beyond
+	// the comparison it serves; implementations must not mutate key.
+	GroupBy func(key []byte) []byte
 	// NewMapLocal, when non-nil, is called once per map task (attempt)
 	// and its result exposed as MapCtx.Local.
 	NewMapLocal func(st *TaskStats) any
@@ -294,7 +336,7 @@ func (c Config) withDefaults() (Config, error) {
 		}
 	}
 	if c.GroupBy == nil {
-		c.GroupBy = func(k string) string { return k }
+		c.GroupBy = func(k []byte) []byte { return k }
 	}
 	if c.MaxAttempts < 1 {
 		c.MaxAttempts = 3
@@ -303,16 +345,22 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // DefaultShuffleBatchPairs is the default per-reducer shuffle batch size.
-// 256 pairs amortize the per-frame channel/gob cost well below the
+// 256 pairs amortize the per-frame channel/framing cost well below the
 // per-pair work while keeping at most a few thousand pairs buffered per
 // map task.
 const DefaultShuffleBatchPairs = 256
 
-// HashPartition is the default FNV-1a partitioner.
-func HashPartition(key string, n int) int {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
+// HashPartition is the default FNV-1a partitioner. The hash loop is
+// inlined (rather than hash/fnv) so partitioning a key allocates nothing;
+// the constants are FNV-1a's 32-bit offset basis and prime, producing
+// assignments identical to fnv.New32a over the same bytes.
+func HashPartition(key []byte, n int) int {
+	h := uint32(2166136261)
+	for _, c := range key {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return int(h % uint32(n))
 }
 
 // Job couples input, user functions, and configuration.

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -25,13 +26,13 @@ func wordCountJob(lines []string, cfg Config) Job {
 		Input: NewMemoryInput(records, 4),
 		Map: func(ctx *MapCtx, record []byte) error {
 			for _, w := range strings.Fields(string(record)) {
-				if err := ctx.Emit(w, []byte("1")); err != nil {
+				if err := ctx.Emit([]byte(w), []byte("1")); err != nil {
 					return err
 				}
 			}
 			return nil
 		},
-		Reduce: func(ctx *ReduceCtx, key string, values *GroupIter) error {
+		Reduce: func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
 			total := 0
 			for {
 				p, ok, err := values.Next()
@@ -75,10 +76,10 @@ func checkWordCount(t *testing.T, res *Result) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, dup := got[p.Key]; dup {
+		if _, dup := got[string(p.Key)]; dup {
 			t.Fatalf("key %q emitted twice", p.Key)
 		}
-		got[p.Key] = n
+		got[string(p.Key)] = n
 	}
 	if len(got) != len(wcWant) {
 		t.Fatalf("got %d keys, want %d: %v", len(got), len(wcWant), got)
@@ -150,7 +151,7 @@ func TestWordCountWithSpill(t *testing.T) {
 }
 
 func TestCombinerReducesTraffic(t *testing.T) {
-	comb := func(key string, values [][]byte) ([][]byte, error) {
+	comb := func(key []byte, values [][]byte) ([][]byte, error) {
 		total := 0
 		for _, v := range values {
 			n, err := strconv.Atoi(string(v))
@@ -185,7 +186,7 @@ func TestCombinerReducesTraffic(t *testing.T) {
 		got := map[string]int{}
 		for _, p := range res.Output {
 			n, _ := strconv.Atoi(string(p.Value))
-			got[p.Key] = n
+			got[string(p.Key)] = n
 		}
 		for k, v := range want {
 			if got[k] != v {
@@ -218,14 +219,14 @@ func TestGroupByCompositeKey(t *testing.T) {
 		Input: NewMemoryInput(records, 1),
 		Map: func(ctx *MapCtx, record []byte) error {
 			for _, k := range []string{"b|3", "a|2", "b|1", "a|1", "b|2"} {
-				if err := ctx.Emit(k, []byte(k)); err != nil {
+				if err := ctx.EmitString(k, []byte(k)); err != nil {
 					return err
 				}
 			}
 			return nil
 		},
-		Reduce: func(ctx *ReduceCtx, key string, values *GroupIter) error {
-			groups = append(groups, key)
+		Reduce: func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
+			groups = append(groups, string(key))
 			var order []string
 			for {
 				p, ok, err := values.Next()
@@ -235,14 +236,14 @@ func TestGroupByCompositeKey(t *testing.T) {
 				if !ok {
 					break
 				}
-				order = append(order, p.Key)
+				order = append(order, string(p.Key))
 			}
 			orders = append(orders, order)
 			return nil
 		},
 		Config: Config{
 			NumReducers: 1,
-			GroupBy:     func(k string) string { return strings.SplitN(k, "|", 2)[0] },
+			GroupBy:     func(k []byte) []byte { return k[:bytes.IndexByte(k, '|')] },
 			TempDir:     t.TempDir(),
 		},
 	}
@@ -341,7 +342,7 @@ func TestMapErrorPropagates(t *testing.T) {
 
 func TestReduceErrorPropagates(t *testing.T) {
 	job := wordCountJob(wcLines, Config{NumReducers: 1, TempDir: t.TempDir()})
-	job.Reduce = func(ctx *ReduceCtx, key string, values *GroupIter) error {
+	job.Reduce = func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
 		return fmt.Errorf("reduce boom")
 	}
 	if _, err := Run(job); err == nil || !strings.Contains(err.Error(), "reduce boom") {
@@ -386,9 +387,9 @@ func TestDFSInputEndToEnd(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			return ctx.Emit(fmt.Sprintf("g%d", rec[0]), []byte("1"))
+			return ctx.EmitString(fmt.Sprintf("g%d", rec[0]), []byte("1"))
 		},
-		Reduce: func(ctx *ReduceCtx, key string, values *GroupIter) error {
+		Reduce: func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
 			n := 0
 			for {
 				_, ok, err := values.Next()
@@ -411,7 +412,7 @@ func TestDFSInputEndToEnd(t *testing.T) {
 	}
 	counts := map[string]int{}
 	for _, p := range res.Output {
-		counts[p.Key], _ = strconv.Atoi(string(p.Value))
+		counts[string(p.Key)], _ = strconv.Atoi(string(p.Value))
 	}
 	total := 0
 	for g := 0; g < 7; g++ {
@@ -428,7 +429,7 @@ func TestDFSInputEndToEnd(t *testing.T) {
 
 func TestHashPartitionRange(t *testing.T) {
 	for i := 0; i < 1000; i++ {
-		p := HashPartition(fmt.Sprintf("key-%d", i), 7)
+		p := HashPartition([]byte(fmt.Sprintf("key-%d", i)), 7)
 		if p < 0 || p >= 7 {
 			t.Fatalf("partition %d out of range", p)
 		}
@@ -436,7 +437,7 @@ func TestHashPartitionRange(t *testing.T) {
 	// Distribution is roughly uniform.
 	counts := make([]int, 5)
 	for i := 0; i < 10000; i++ {
-		counts[HashPartition(fmt.Sprintf("k%d", i), 5)]++
+		counts[HashPartition([]byte(fmt.Sprintf("k%d", i)), 5)]++
 	}
 	sort.Ints(counts)
 	if counts[0] < 1500 || counts[4] > 2500 {

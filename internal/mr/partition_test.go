@@ -1,0 +1,73 @@
+package mr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestHashPartitionPinned pins HashPartition's assignments for a fixed
+// key corpus. The inlined FNV-1a loop must place every key exactly where
+// the hash/fnv-backed implementation it replaced did: a drift here moves
+// records between reducers, which changes per-reducer workloads and
+// therefore simulated wall-clock results across the repo.
+func TestHashPartitionPinned(t *testing.T) {
+	corpus := []string{
+		"", "a", "b", "ab", "ba", "key", "key-0", "key-1",
+		"block|measure", "occ", "m_sum", "m_count",
+		"\x00", "\x00\x01\x02", "\xff\xfe", "日本語",
+		"the quick brown fox jumps over the lazy dog",
+	}
+	for i := 0; i < 64; i++ {
+		corpus = append(corpus, fmt.Sprintf("k%03d", i), fmt.Sprintf("block-%d|suffix", i*7))
+	}
+
+	// Reference: the stock library FNV-1a, exactly what the pre-inline
+	// implementation computed.
+	ref := func(key string, n int) int {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		return int(h.Sum32() % uint32(n))
+	}
+	for _, n := range []int{1, 2, 3, 5, 7, 8, 16, 100} {
+		for _, k := range corpus {
+			if got, want := HashPartition([]byte(k), n), ref(k, n); got != want {
+				t.Fatalf("HashPartition(%q, %d) = %d, want %d", k, n, got, want)
+			}
+		}
+	}
+
+	// Literal pins for a handful of keys so the test fails loudly even if
+	// both the inline loop and the reference were edited in lockstep.
+	pinned := []struct {
+		key  string
+		n    int
+		want int
+	}{
+		{"", 7, 2},
+		{"a", 7, 5},
+		{"key-0", 7, 6},
+		{"block|measure", 7, 0},
+		{"k000", 16, 14},
+		{"the quick brown fox jumps over the lazy dog", 100, 72},
+	}
+	for _, p := range pinned {
+		if got := HashPartition([]byte(p.key), p.n); got != p.want {
+			t.Errorf("HashPartition(%q, %d) = %d, want pinned %d", p.key, p.n, got, p.want)
+		}
+	}
+}
+
+// TestHashPartitionZeroAlloc pins that the partitioner itself never
+// allocates: it is called once per emitted pair on the map hot path.
+func TestHashPartitionZeroAlloc(t *testing.T) {
+	key := []byte("block-42|measure-payload")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if HashPartition(key, 31) < 0 {
+			t.Fatal("negative partition")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("HashPartition allocates %.1f allocs/op, want 0", allocs)
+	}
+}

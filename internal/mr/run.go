@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -180,13 +181,13 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 	st.BytesRead += sp.SizeBytes()
 
 	// Each map task owns one batch writer: pairs accumulate per reducer
-	// and ship as one framed SendBatch, so channel operations and gob
+	// and ship as one framed SendBatch, so channel operations and frame
 	// round-trips drop by the batch factor.
 	var bw *transport.BatchWriter
 	if !cfg.ShuffleDisabled {
 		bw = transport.NewBatchWriter(tr, cfg.NumReducers, cfg.ShuffleBatchPairs)
 	}
-	send := func(key string, value []byte) error {
+	send := func(key, value []byte) error {
 		st.PairsOut++
 		st.BytesOut += int64(len(key) + len(value))
 		if bw == nil {
@@ -206,7 +207,7 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 		comb = newFuncCombiner(cfg.Combine, st)
 	}
 	if comb != nil {
-		emit = func(key string, value []byte) error {
+		emit = func(key, value []byte) error {
 			st.CombineInputs++
 			if err := comb.Add(key, value); err != nil {
 				return err
@@ -259,22 +260,29 @@ func runReduceTask(reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cf
 	ctx := &ReduceCtx{
 		Stats:   st,
 		TempDir: cfg.TempDir,
-		emit: func(key string, value []byte) {
-			// ReduceCtx.Emit hands off ownership of value; no copy needed.
+		emit: func(key, value []byte) {
+			// ReduceCtx.Emit already copied the key and hands off
+			// ownership of the value; no further copies needed.
 			*out = append(*out, transport.Pair{Key: key, Value: value})
 		},
 	}
 	if cfg.NewReduceLocal != nil {
 		ctx.Local = cfg.NewReduceLocal(st)
 	}
+	// groupBuf holds the current group's identity, copied out of the
+	// first pair's key. The copy is mandatory: a spilled pair's key
+	// aliases the sorter's reused run-read buffer, which advancing the
+	// iterator within the group overwrites — an aliasing group slice
+	// would corrupt the boundary comparison mid-group.
+	var groupBuf []byte
 	cur, ok, err := it.Next()
 	if err != nil {
 		return err
 	}
 	for ok {
-		group := cfg.GroupBy(cur.Key)
-		gi := &GroupIter{it: it, groupBy: cfg.GroupBy, group: group, cur: cur, curValid: true}
-		if err := reduceFn(ctx, group, gi); err != nil {
+		groupBuf = append(groupBuf[:0], cfg.GroupBy(cur.Key)...)
+		gi := &GroupIter{it: it, groupBy: cfg.GroupBy, group: groupBuf, cur: cur, curValid: true}
+		if err := reduceFn(ctx, groupBuf, gi); err != nil {
 			return err
 		}
 		if err := gi.Drain(); err != nil {
@@ -307,8 +315,8 @@ func fillGroupStats(st *TaskStats, gs groupx.Stats) {
 // (grouping only — see GroupMode).
 type GroupIter struct {
 	it       groupx.Iterator
-	groupBy  func(string) string
-	group    string
+	groupBy  func([]byte) []byte
+	group    []byte
 	cur      transport.Pair
 	curValid bool
 	done     bool
@@ -316,10 +324,10 @@ type GroupIter struct {
 
 // Next returns the next pair of the group; ok=false at the group's end.
 //
-// Ownership: the pair's Value is only guaranteed valid until the
-// following Next call (spilled pairs alias the sorter's reused read
-// buffers). Reduce functions that retain a value across Next must copy
-// it; Key is a string and always safe to keep.
+// Ownership: the pair's Key and Value are only guaranteed valid until
+// the following Next call (spilled pairs alias the sorter's reused read
+// buffers). Reduce functions that retain either across Next must copy
+// it.
 func (g *GroupIter) Next() (transport.Pair, bool, error) {
 	if g.done {
 		return transport.Pair{}, false, nil
@@ -335,7 +343,7 @@ func (g *GroupIter) Next() (transport.Pair, bool, error) {
 		}
 		g.cur, g.curValid = p, true
 	}
-	if g.groupBy(g.cur.Key) != g.group {
+	if !bytes.Equal(g.groupBy(g.cur.Key), g.group) {
 		g.done = true // cur is the first pair of the next group; keep it
 		return transport.Pair{}, false, nil
 	}
@@ -368,16 +376,17 @@ func (pairCodec) EncodeTo(dst []byte, p transport.Pair) ([]byte, error) {
 	return append(dst, p.Value...), nil
 }
 
-// Decode parses a spilled pair. Value aliases b, per the sortx.Codec
-// contract: it is valid until the next item is read from the same run,
-// which GroupIter.Next surfaces to reduce functions.
+// Decode parses a spilled pair. Key and Value both alias b, per the
+// sortx.Codec contract: they are valid until the next item is read from
+// the same run, which GroupIter.Next surfaces to reduce functions. No
+// string materializes anywhere on the spill path.
 func (pairCodec) Decode(b []byte) (transport.Pair, error) {
 	n, k := binary.Uvarint(b)
 	if k <= 0 || uint64(len(b)-k) < n {
 		return transport.Pair{}, fmt.Errorf("mr: corrupt spilled pair")
 	}
 	return transport.Pair{
-		Key:   string(b[k : k+int(n)]),
+		Key:   b[k : k+int(n) : k+int(n)],
 		Value: b[k+int(n):],
 	}, nil
 }

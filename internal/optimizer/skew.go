@@ -19,7 +19,7 @@ import (
 // (including overlap duplication). partition may be nil for the default
 // hash partitioner.
 func SimulatedDispatch(s *cube.Schema, key distkey.Key, cf int64, sample []cube.Record,
-	numReducers int, partition func(string, int) int) ([]float64, error) {
+	numReducers int, partition func([]byte, int) int) ([]float64, error) {
 	if partition == nil {
 		partition = mr.HashPartition
 	}
@@ -63,7 +63,7 @@ type SamplingChoice struct {
 // candidate order). This is the paper's "Sampling" strategy, which finds
 // the best plan with or without data skew.
 func ChooseBySampling(s *cube.Schema, model Plan, sample []cube.Record,
-	numReducers int, partition func(string, int) int) (SamplingChoice, error) {
+	numReducers int, partition func([]byte, int) int) (SamplingChoice, error) {
 	if len(model.Candidates) == 0 {
 		return SamplingChoice{}, fmt.Errorf("optimizer: plan has no candidates")
 	}

@@ -20,7 +20,7 @@ func collectAll(tr Transport, reducers int) [][]string {
 			defer wg.Done()
 			for ps := range tr.Receive(r) {
 				for _, p := range ps {
-					received[r] = append(received[r], p.Key+"="+string(p.Value))
+					received[r] = append(received[r], string(p.Key)+"="+string(p.Value))
 				}
 			}
 		}()
@@ -43,10 +43,7 @@ func TestBatchedEqualsPerPair(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(100 + s)))
 		ps := make([]Pair, pairsPerSender)
 		for i := range ps {
-			ps[i] = Pair{
-				Key:   fmt.Sprintf("k%d", rng.Intn(50)),
-				Value: []byte(fmt.Sprintf("s%d-i%d", s, i)),
-			}
+			ps[i] = PairS(fmt.Sprintf("k%d", rng.Intn(50)), []byte(fmt.Sprintf("s%d-i%d", s, i)))
 		}
 		return ps
 	}
@@ -134,7 +131,7 @@ func TestSendBatchEmptyIsNoOp(t *testing.T) {
 	if err := tr.SendBatch(0, []Pair{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.SendBatch(0, []Pair{{Key: "a", Value: []byte("b")}}); err != nil {
+	if err := tr.SendBatch(0, []Pair{PairS("a", []byte("b"))}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.CloseSend(); err != nil {
@@ -166,11 +163,11 @@ func TestBatchWriterCounts(t *testing.T) {
 	}
 	bw := NewBatchWriter(tr, 2, 4)
 	for i := 0; i < 10; i++ { // reducer 0: 10 pairs -> 2 full + 1 partial
-		if err := bw.Send(0, Pair{Key: "k", Value: []byte{byte(i)}}); err != nil {
+		if err := bw.Send(0, Pair{Key: []byte("k"), Value: []byte{byte(i)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := bw.Send(1, Pair{Key: "k"}); err != nil { // reducer 1: 1 partial
+	if err := bw.Send(1, PairS("k", nil)); err != nil { // reducer 1: 1 partial
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {

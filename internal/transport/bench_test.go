@@ -9,12 +9,12 @@ import (
 // BenchmarkShuffleSubstrate isolates the transport cost from map/reduce
 // work: pre-built pairs are pushed through a BatchWriter at batch size 1
 // (pair-at-a-time framing) and at the default batch size, so the delta is
-// purely the per-frame channel/gob overhead that batching amortizes.
+// purely the per-frame channel/framing overhead that batching amortizes.
 func BenchmarkShuffleSubstrate(b *testing.B) {
 	const reducers = 4
 	pairs := make([]Pair, 100_000)
 	for i := range pairs {
-		pairs[i] = Pair{Key: fmt.Sprintf("g%d", i%997), Value: []byte(fmt.Sprintf("%d", i))}
+		pairs[i] = PairS(fmt.Sprintf("g%d", i%997), []byte(fmt.Sprintf("%d", i)))
 	}
 	for _, c := range []struct {
 		name    string

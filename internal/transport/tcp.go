@@ -2,7 +2,7 @@ package transport
 
 import (
 	"bufio"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -10,12 +10,26 @@ import (
 	"sync/atomic"
 )
 
-// tcpTransport shuffles pairs over real loopback TCP connections with gob
-// framing. Each reducer owns one listener; the transport dials one
-// connection per reducer up front (all mapper goroutines in this process
-// share it), so a job uses numReducers connections. One gob frame carries
-// one batch ([]Pair), so the encode/decode round-trip count drops by the
-// batch factor relative to pair-at-a-time framing.
+// tcpTransport shuffles pairs over real loopback TCP connections with
+// length-prefixed binary framing. Each reducer owns one listener; the
+// transport dials one connection per reducer up front (all mapper
+// goroutines in this process share it), so a job uses numReducers
+// connections. One frame carries one batch ([]Pair), so the encode/decode
+// round-trip count drops by the batch factor relative to pair-at-a-time
+// framing.
+//
+// Wire format, all integers unsigned varints:
+//
+//	frame  := payloadLen payload
+//	payload := pairCount pair*
+//	pair   := keyLen keyBytes valueLen valueBytes
+//
+// The sender serializes a batch into a per-connection scratch buffer
+// reused across frames (guarded by the connection mutex), so steady-state
+// sending allocates nothing. The receiver reads each payload into a
+// fresh buffer that the decoded pairs alias; because the buffer is
+// per-frame and never recycled, received Key/Value bytes remain valid
+// for the life of the job, matching the channel transport's contract.
 type tcpTransport struct {
 	recv    []chan []Pair
 	conns   []*tcpConn
@@ -26,10 +40,10 @@ type tcpTransport struct {
 }
 
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  *gob.Encoder
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	scratch []byte // reused frame-encode buffer
 }
 
 // NewTCP returns a transport shuffling over loopback TCP. buffer sizes the
@@ -55,7 +69,7 @@ func NewTCP(numReducers, buffer int) (Transport, error) {
 		t.lns[r] = ln
 		t.recv[r] = make(chan []Pair, buffer)
 	}
-	// Accept one inbound connection per reducer and decode batches from it
+	// Accept one inbound connection per reducer and decode frames from it
 	// until EOF, then close the reducer's receive channel.
 	var errMu sync.Mutex
 	var acceptErr error
@@ -76,10 +90,10 @@ func NewTCP(numReducers, buffer int) (Transport, error) {
 			go func() {
 				defer close(t.recv[r])
 				defer conn.Close()
-				dec := gob.NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+				br := bufio.NewReaderSize(conn, 1<<16)
 				for {
-					var ps []Pair
-					if err := dec.Decode(&ps); err != nil {
+					ps, err := readFrame(br)
+					if err != nil {
 						if err != io.EOF {
 							// A decode error mid-stream means the sender
 							// died; the reducer sees a short channel, and
@@ -102,8 +116,7 @@ func NewTCP(numReducers, buffer int) (Transport, error) {
 			t.Close()
 			return nil, fmt.Errorf("transport: dial reducer %d: %w", r, err)
 		}
-		bw := bufio.NewWriterSize(conn, 1<<16)
-		t.conns[r] = &tcpConn{conn: conn, bw: bw, enc: gob.NewEncoder(bw)}
+		t.conns[r] = &tcpConn{conn: conn, bw: bufio.NewWriterSize(conn, 1<<16)}
 	}
 	wg.Wait()
 	if acceptErr != nil {
@@ -111,6 +124,61 @@ func NewTCP(numReducers, buffer int) (Transport, error) {
 		return nil, fmt.Errorf("transport: accept: %w", acceptErr)
 	}
 	return t, nil
+}
+
+// readFrame reads one length-prefixed frame and decodes its pairs into a
+// batch slice. Key and Value slices alias the frame's payload buffer,
+// which is freshly allocated per frame and never reused.
+func readFrame(br *bufio.Reader) ([]Pair, error) {
+	payloadLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	count, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, fmt.Errorf("transport: corrupt frame header")
+	}
+	ps := make([]Pair, 0, count)
+	for i := uint64(0); i < count; i++ {
+		key, n, err := readChunk(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		val, n, err := readChunk(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		off = n
+		ps = append(ps, Pair{Key: key, Value: val})
+	}
+	return ps, nil
+}
+
+// readChunk decodes one uvarint-prefixed byte chunk from buf at off,
+// returning the chunk (aliasing buf) and the new offset. A zero-length
+// chunk decodes as nil so round-tripped pairs compare deep-equal.
+func readChunk(buf []byte, off int) ([]byte, int, error) {
+	n, sz := binary.Uvarint(buf[off:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("transport: corrupt chunk length")
+	}
+	off += sz
+	end := off + int(n)
+	if end > len(buf) {
+		return nil, 0, fmt.Errorf("transport: chunk overruns frame")
+	}
+	if n == 0 {
+		return nil, off, nil
+	}
+	return buf[off:end:end], end, nil
 }
 
 // TCPFactory returns a Factory producing loopback TCP transports.
@@ -134,7 +202,20 @@ func (t *tcpTransport) SendBatch(r int, ps []Pair) error {
 	}
 	c := t.conns[r]
 	c.mu.Lock()
-	err := c.enc.Encode(ps)
+	buf := c.scratch[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(ps)))
+	for i := range ps {
+		buf = binary.AppendUvarint(buf, uint64(len(ps[i].Key)))
+		buf = append(buf, ps[i].Key...)
+		buf = binary.AppendUvarint(buf, uint64(len(ps[i].Value)))
+		buf = append(buf, ps[i].Value...)
+	}
+	c.scratch = buf
+	var hdr [binary.MaxVarintLen64]byte
+	_, err := c.bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(len(buf)))])
+	if err == nil {
+		_, err = c.bw.Write(buf)
+	}
 	c.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("transport: send to reducer %d: %w", r, err)

@@ -1,9 +1,9 @@
 // Package transport moves shuffled key/value pairs from mappers to
 // reducers. Two implementations are provided: an in-memory channel
 // transport (the default for tests and benchmarks) and a real TCP
-// transport using encoding/gob framing, which exercises the same code
-// paths a multi-node deployment would ("the result pairs are shuffled and
-// dispatched to reducers").
+// transport using length-prefixed binary framing, which exercises the
+// same code paths a multi-node deployment would ("the result pairs are
+// shuffled and dispatched to reducers").
 //
 // A Transport instance serves one job execution: mappers call Send or
 // SendBatch concurrently, then the driver calls CloseSend exactly once;
@@ -11,14 +11,20 @@
 //
 // Delivery is batch-framed end to end: the channel transport moves one
 // []Pair slice per channel operation and the TCP transport encodes one
-// gob frame per batch, so both the synchronization and the round-trip
+// binary frame per batch, so both the synchronization and the round-trip
 // count drop by the batch factor. Senders that emit pair-at-a-time use a
 // BatchWriter to accumulate per-reducer batches.
 //
 // Ownership: a batch slice passed to SendBatch is handed off to the
 // transport (and, for the channel transport, surfaces unchanged at the
 // receiver) — the caller must not reuse or mutate it, nor the Key/Value
-// contents it references, for the life of the job.
+// bytes it references, for the life of the job. Symmetrically, the bytes
+// a receiver sees stay valid and unmodified for the life of the job: the
+// channel transport hands the sender's batch through untouched, and the
+// TCP transport decodes each frame into a fresh buffer that the frame's
+// pairs alias and that nothing overwrites afterwards. Reducer-side
+// collectors may therefore retain received Key/Value slices without
+// copying.
 package transport
 
 import (
@@ -26,12 +32,25 @@ import (
 	"sync/atomic"
 )
 
-// Pair is one shuffled key/value pair. Key is the distribution block key;
-// Value is an opaque payload (a serialized record or partial aggregate).
+// Pair is one shuffled key/value pair. Key is the distribution block key
+// and Value an opaque payload (a serialized record or partial aggregate);
+// both are raw byte slices so the record data plane never round-trips
+// through string allocations (see the package comment for ownership).
 type Pair struct {
-	Key   string
+	Key   []byte
 	Value []byte
 }
+
+// PairS builds a Pair from a string key, copying the key's bytes. It is
+// the compatibility constructor for call sites still keyed by strings
+// (slated for removal once they migrate — see DESIGN.md); hot paths
+// should build byte-keyed Pairs directly.
+func PairS(key string, value []byte) Pair {
+	return Pair{Key: []byte(key), Value: value}
+}
+
+// KeyString returns the key as a string (allocating a copy).
+func (p Pair) KeyString() string { return string(p.Key) }
 
 // Size returns the pair's payload size in bytes, the unit of the cost
 // model's transfer term.

@@ -34,7 +34,7 @@ func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper i
 			defer recvWG.Done()
 			for ps := range tr.Receive(r) {
 				for _, p := range ps {
-					received[r] = append(received[r], p.Key+"="+string(p.Value))
+					received[r] = append(received[r], string(p.Key)+"="+string(p.Value))
 				}
 			}
 		}()
@@ -50,14 +50,14 @@ func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper i
 			for i := 0; i < pairsPerMapper; i++ {
 				a := addressed{
 					r: rng.Intn(reducers),
-					p: Pair{Key: fmt.Sprintf("k%d", rng.Intn(10)), Value: []byte(fmt.Sprintf("m%d-i%d", m, i))},
+					p: PairS(fmt.Sprintf("k%d", rng.Intn(10)), []byte(fmt.Sprintf("m%d-i%d", m, i))),
 				}
 				if err := tr.Send(a.r, a.p); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}
 				mu.Lock()
-				sent[a.r] = append(sent[a.r], a.p.Key+"="+string(a.p.Value))
+				sent[a.r] = append(sent[a.r], string(a.p.Key)+"="+string(a.p.Value))
 				mu.Unlock()
 			}
 		}()
@@ -120,13 +120,13 @@ func TestSendAfterCloseFails(t *testing.T) {
 				for range tr.Receive(1) {
 				}
 			}()
-			if err := tr.Send(0, Pair{Key: "a", Value: []byte("b")}); err != nil {
+			if err := tr.Send(0, PairS("a", []byte("b"))); err != nil {
 				t.Fatal(err)
 			}
 			if err := tr.CloseSend(); err != nil {
 				t.Fatal(err)
 			}
-			if err := tr.Send(0, Pair{Key: "a"}); err == nil {
+			if err := tr.Send(0, PairS("a", nil)); err == nil {
 				t.Error("send after CloseSend succeeded")
 			}
 			if err := tr.CloseSend(); err == nil {
@@ -156,7 +156,7 @@ func TestSendValidation(t *testing.T) {
 }
 
 func TestPairSize(t *testing.T) {
-	p := Pair{Key: "abc", Value: []byte("defg")}
+	p := PairS("abc", []byte("defg"))
 	if p.Size() != 7 {
 		t.Errorf("size = %d", p.Size())
 	}
@@ -168,8 +168,8 @@ func TestChannelBytesSentExact(t *testing.T) {
 		for range tr.Receive(0) {
 		}
 	}()
-	tr.Send(0, Pair{Key: "ab", Value: []byte("cd")})
-	tr.Send(0, Pair{Key: "x", Value: nil})
+	tr.Send(0, PairS("ab", []byte("cd")))
+	tr.Send(0, PairS("x", nil))
 	if got := tr.BytesSent(); got != 5 {
 		t.Errorf("BytesSent = %d, want 5", got)
 	}
@@ -189,7 +189,7 @@ func TestTCPCloseBeforeCloseSend(t *testing.T) {
 }
 
 func TestTCPConcurrentSendersInterleave(t *testing.T) {
-	// Many goroutines writing to the same reducer share one gob stream;
+	// Many goroutines writing to the same reducer share one framed stream;
 	// frames must never corrupt each other.
 	tr, err := NewTCP(1, 8)
 	if err != nil {
@@ -215,7 +215,7 @@ func TestTCPConcurrentSendersInterleave(t *testing.T) {
 			defer wg.Done()
 			payload := []byte(fmt.Sprintf("sender-%d", g))
 			for i := 0; i < 200; i++ {
-				if err := tr.Send(0, Pair{Key: "k", Value: payload}); err != nil {
+				if err := tr.Send(0, Pair{Key: []byte("k"), Value: payload}); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}
