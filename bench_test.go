@@ -11,6 +11,7 @@
 package casm_test
 
 import (
+	"context"
 	"testing"
 
 	casm "github.com/casm-project/casm"
@@ -31,7 +32,7 @@ func BenchmarkFig4a_Scaleup(b *testing.B) {
 	var p *figures.PanelA
 	var err error
 	for i := 0; i < b.N; i++ {
-		p, err = figures.Fig4a(cfg)
+		p, err = figures.Fig4a(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func BenchmarkFig4b_Speedup(b *testing.B) {
 	var p *figures.PanelB
 	var err error
 	for i := 0; i < b.N; i++ {
-		p, err = figures.Fig4b(cfg)
+		p, err = figures.Fig4b(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkFig4c_ClusteringFactor(b *testing.B) {
 	var p *figures.PanelC
 	var err error
 	for i := 0; i < b.N; i++ {
-		p, err = figures.Fig4c(cfg)
+		p, err = figures.Fig4c(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func BenchmarkFig4d_Breakdown(b *testing.B) {
 	var p *figures.PanelD
 	var err error
 	for i := 0; i < b.N; i++ {
-		p, err = figures.Fig4d(cfg)
+		p, err = figures.Fig4d(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkFig4e_EarlyAggregation(b *testing.B) {
 	var p *figures.PanelE
 	var err error
 	for i := 0; i < b.N; i++ {
-		p, err = figures.Fig4e(cfg)
+		p, err = figures.Fig4e(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func BenchmarkFig4f_Skew(b *testing.B) {
 	var p *figures.PanelF
 	var err error
 	for i := 0; i < b.N; i++ {
-		p, err = figures.Fig4f(cfg)
+		p, err = figures.Fig4f(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,13 +16,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/casm-project/casm/internal/figures"
@@ -76,6 +80,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Ctrl-C cancels the in-flight panel run: the engine tears the current
+	// job down (senders unblock, spill runs are reclaimed) and the process
+	// exits with the conventional 130 instead of abandoning goroutines
+	// mid-shuffle. A second signal kills the process the hard way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := figures.Config{Scale: *scale, Seed: *seed, TempDir: os.TempDir()}
 	snap := snapshot{
 		Scale:       *scale,
@@ -95,6 +106,10 @@ func main() {
 		start := time.Now()
 		p, err := f(cfg)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "casmbench: interrupted\n")
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "casmbench: panel %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -108,12 +123,12 @@ func main() {
 		fmt.Printf("(panel %s regenerated in %.1fs real time)\n\n", name, elapsed)
 	}
 
-	run("a", func(c figures.Config) (tabler, error) { return figures.Fig4a(c) })
-	run("b", func(c figures.Config) (tabler, error) { return figures.Fig4b(c) })
-	run("c", func(c figures.Config) (tabler, error) { return figures.Fig4c(c) })
-	run("d", func(c figures.Config) (tabler, error) { return figures.Fig4d(c) })
-	run("e", func(c figures.Config) (tabler, error) { return figures.Fig4e(c) })
-	run("f", func(c figures.Config) (tabler, error) { return figures.Fig4f(c) })
+	run("a", func(c figures.Config) (tabler, error) { return figures.Fig4a(ctx, c) })
+	run("b", func(c figures.Config) (tabler, error) { return figures.Fig4b(ctx, c) })
+	run("c", func(c figures.Config) (tabler, error) { return figures.Fig4c(ctx, c) })
+	run("d", func(c figures.Config) (tabler, error) { return figures.Fig4d(ctx, c) })
+	run("e", func(c figures.Config) (tabler, error) { return figures.Fig4e(ctx, c) })
+	run("f", func(c figures.Config) (tabler, error) { return figures.Fig4f(ctx, c) })
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -12,11 +12,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	casm "github.com/casm-project/casm"
 	"github.com/casm-project/casm/internal/core"
@@ -25,7 +29,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	switch err := run(); {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		// Interrupted runs exit with the conventional 128+SIGINT code; by
+		// this point the engine has already torn the job down (no leaked
+		// goroutines, no retained spill descriptors).
+		fmt.Fprintln(os.Stderr, "casmrun: interrupted")
+		os.Exit(130)
+	default:
 		fmt.Fprintf(os.Stderr, "casmrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -48,8 +60,16 @@ func run() error {
 		blockSz  = flag.Int("block", 4<<20, "block size used by casmgen")
 		values   = flag.Int("show", 0, "print the first N result rows per measure")
 		savePath = flag.String("save", "", "write result records to this file (block-aligned frames)")
+		tmpDir   = flag.String("tmp", "", "directory for reducer spill files (default OS temp)")
+		sortMem  = flag.Int("sortmem", 0, "reducer in-memory grouping budget in items, 0 = default (set small to force spills)")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the in-flight evaluation: the engine tears the job
+	// down promptly and run returns context.Canceled (exit code 130). A
+	// second signal kills the process the hard way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	su := workload.NewSuite()
 	var q *casm.Query
@@ -77,7 +97,13 @@ func run() error {
 	}
 	fmt.Printf("dataset: %d records (%d bytes)\n", len(records), len(data))
 
-	cfg := casm.Config{NumReducers: *reducers, ForceCF: *cf, MinBlocksPerReducer: *minBlk}
+	cfg := casm.Config{
+		NumReducers:         *reducers,
+		ForceCF:             *cf,
+		MinBlocksPerReducer: *minBlk,
+		TempDir:             *tmpDir,
+		SortMemoryItems:     *sortMem,
+	}
 	if *chain {
 		cfg.LocalScan = casm.ChainScan
 	}
@@ -124,7 +150,7 @@ func run() error {
 		return err
 	}
 	ds := core.MemoryDataset(su.Schema, records, 4**reducers)
-	res, err := eng.Run(q, ds)
+	res, err := eng.EvaluateContext(ctx, q, ds)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -22,7 +23,16 @@ import (
 //
 // The result is identical to Run's; Stats and Estimate accumulate over
 // all jobs (jobs execute sequentially, as the step-by-step plan implies).
+// It runs under context.Background(); see RunComponentAtATimeContext.
 func (e *Engine) RunComponentAtATime(w *workflow.Workflow, ds *Dataset) (*Result, error) {
+	return e.RunComponentAtATimeContext(context.Background(), w, ds)
+}
+
+// RunComponentAtATimeContext is the context-aware form of
+// RunComponentAtATime: each component job runs on Config.Executor's
+// shared pool under ctx, and cancellation aborts the remaining job
+// sequence with an error satisfying errors.Is(err, context.Canceled).
+func (e *Engine) RunComponentAtATimeContext(ctx context.Context, w *workflow.Workflow, ds *Dataset) (*Result, error) {
 	s := ds.Schema
 	order, err := w.TopoOrder()
 	if err != nil {
@@ -51,7 +61,7 @@ func (e *Engine) RunComponentAtATime(w *workflow.Workflow, ds *Dataset) (*Result
 		}
 	}
 	for gk, g := range needOcc {
-		coords, js, err := e.occupancyJob(ds, g)
+		coords, js, err := e.occupancyJob(ctx, ds, g)
 		if err != nil {
 			return nil, fmt.Errorf("core: occupancy job for %s: %w", s.FormatGrain(g), err)
 		}
@@ -72,17 +82,17 @@ func (e *Engine) RunComponentAtATime(w *workflow.Workflow, ds *Dataset) (*Result
 		var js mr.JobStats
 		switch m.Kind {
 		case workflow.Basic:
-			rows, js, err = e.basicJob(ds, m)
+			rows, js, err = e.basicJob(ctx, ds, m)
 		case workflow.Rollup:
-			rows, js, err = e.rollupJob(w, m, values[m.Sources[0]])
+			rows, js, err = e.rollupJob(ctx, w, m, values[m.Sources[0]])
 		case workflow.Self, workflow.Inherit:
 			srcRows := make([][]row, len(m.Sources))
 			for i, src := range m.Sources {
 				srcRows[i] = values[src]
 			}
-			rows, js, err = e.joinJob(w, m, srcRows, occupancy[grainKeyOf(m.Grain)])
+			rows, js, err = e.joinJob(ctx, w, m, srcRows, occupancy[grainKeyOf(m.Grain)])
 		case workflow.Sliding:
-			rows, js, err = e.slidingJob(s, m, values[m.Sources[0]], occupancy[grainKeyOf(m.Grain)])
+			rows, js, err = e.slidingJob(ctx, s, m, values[m.Sources[0]], occupancy[grainKeyOf(m.Grain)])
 		default:
 			return nil, fmt.Errorf("core: baseline: unknown kind %v", m.Kind)
 		}
@@ -113,16 +123,17 @@ func grainKeyOf(g cube.Grain) string {
 }
 
 // runRowsJob executes one MapReduce job and decodes its output rows.
-func (e *Engine) runRowsJob(input mr.Input, mapFn mr.MapFunc, reduceFn mr.ReduceFunc, arity int) ([]struct {
+func (e *Engine) runRowsJob(ctx context.Context, input mr.Input, mapFn mr.MapFunc, reduceFn mr.ReduceFunc, arity int) ([]struct {
 	coords []int64
 	value  float64
 }, mr.JobStats, error) {
-	res, err := mr.Run(mr.Job{
+	res, err := mr.RunContext(ctx, mr.Job{
 		Input:  input,
 		Map:    mapFn,
 		Reduce: reduceFn,
 		Config: mr.Config{
 			NumReducers:       e.cfg.NumReducers,
+			Executor:          e.cfg.Executor,
 			MapParallelism:    e.cfg.MapParallelism,
 			ReduceParallelism: e.cfg.ReduceParallelism,
 			Transport:         e.cfg.Transport,
@@ -149,7 +160,7 @@ func (e *Engine) runRowsJob(input mr.Input, mapFn mr.MapFunc, reduceFn mr.Reduce
 }
 
 // occupancyJob lists the occupied regions of a grain.
-func (e *Engine) occupancyJob(ds *Dataset, g cube.Grain) ([][]int64, mr.JobStats, error) {
+func (e *Engine) occupancyJob(ctx context.Context, ds *Dataset, g cube.Grain) ([][]int64, mr.JobStats, error) {
 	s := ds.Schema
 	arity := s.NumAttrs()
 	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
@@ -173,7 +184,7 @@ func (e *Engine) occupancyJob(ds *Dataset, g cube.Grain) ([][]int64, mr.JobStats
 		ctx.EmitString("occ", encodeMeasureRecord(coords, 0))
 		return nil
 	}
-	rows, js, err := e.runRowsJob(ds.Input, mapFn, reduceFn, arity)
+	rows, js, err := e.runRowsJob(ctx, ds.Input, mapFn, reduceFn, arity)
 	if err != nil {
 		return nil, js, err
 	}
@@ -186,7 +197,7 @@ func (e *Engine) occupancyJob(ds *Dataset, g cube.Grain) ([][]int64, mr.JobStats
 
 // basicJob repartitions the raw data by the measure's grain and
 // aggregates each group (the intro's Steps 1–2 for one component).
-func (e *Engine) basicJob(ds *Dataset, m *workflow.Measure) ([]struct {
+func (e *Engine) basicJob(ctx context.Context, ds *Dataset, m *workflow.Measure) ([]struct {
 	coords []int64
 	value  float64
 }, mr.JobStats, error) {
@@ -230,7 +241,7 @@ func (e *Engine) basicJob(ds *Dataset, m *workflow.Measure) ([]struct {
 		ctx.EmitString(m.Name, encodeMeasureRecord(coords, v))
 		return nil
 	}
-	return e.runRowsJob(ds.Input, mapFn, reduceFn, arity)
+	return e.runRowsJob(ctx, ds.Input, mapFn, reduceFn, arity)
 }
 
 // rowsInput wraps intermediate rows as a MapReduce input.
@@ -258,7 +269,7 @@ const occTag = 0xFF
 // joinJob evaluates a self or inherit measure: source results and the
 // target grain's occupancy are co-partitioned on the LCA of their grains
 // and joined reducer-side (the intro's Step 3).
-func (e *Engine) joinJob(w *workflow.Workflow, m *workflow.Measure, srcRows [][]struct {
+func (e *Engine) joinJob(ctx context.Context, w *workflow.Workflow, m *workflow.Measure, srcRows [][]struct {
 	coords []int64
 	value  float64
 }, occ [][]int64) ([]struct {
@@ -345,13 +356,13 @@ func (e *Engine) joinJob(w *workflow.Workflow, m *workflow.Measure, srcRows [][]
 		}
 		return nil
 	}
-	return e.runRowsJob(mr.NewMemoryInput(input, e.cfg.NumReducers*2), mapFn, reduceFn, arity)
+	return e.runRowsJob(ctx, mr.NewMemoryInput(input, e.cfg.NumReducers*2), mapFn, reduceFn, arity)
 }
 
 // rollupJob repartitions the source results by the parent grain and
 // aggregates each parent's children (child/parent relationship as its own
 // job).
-func (e *Engine) rollupJob(w *workflow.Workflow, m *workflow.Measure, srcRows []struct {
+func (e *Engine) rollupJob(ctx context.Context, w *workflow.Workflow, m *workflow.Measure, srcRows []struct {
 	coords []int64
 	value  float64
 }) ([]struct {
@@ -395,14 +406,14 @@ func (e *Engine) rollupJob(w *workflow.Workflow, m *workflow.Measure, srcRows []
 		}
 		return nil
 	}
-	return e.runRowsJob(mr.NewMemoryInput(input, e.cfg.NumReducers*2), mapFn, reduceFn, arity)
+	return e.runRowsJob(ctx, mr.NewMemoryInput(input, e.cfg.NumReducers*2), mapFn, reduceFn, arity)
 }
 
 // slidingJob redistributes source results with overlap: each source value
 // is sent to every window (target region) it participates in, and each
 // occupied target aggregates what it received — the per-component version
 // of overlapping redistribution.
-func (e *Engine) slidingJob(s *cube.Schema, m *workflow.Measure, srcRows []struct {
+func (e *Engine) slidingJob(ctx context.Context, s *cube.Schema, m *workflow.Measure, srcRows []struct {
 	coords []int64
 	value  float64
 }, occ [][]int64) ([]struct {
@@ -479,7 +490,7 @@ func (e *Engine) slidingJob(s *cube.Schema, m *workflow.Measure, srcRows []struc
 		}
 		return nil
 	}
-	return e.runRowsJob(mr.NewMemoryInput(input, e.cfg.NumReducers*2), mapFn, reduceFn, arity)
+	return e.runRowsJob(ctx, mr.NewMemoryInput(input, e.cfg.NumReducers*2), mapFn, reduceFn, arity)
 }
 
 func encodeFloat(v float64) []byte {

@@ -15,6 +15,7 @@ import (
 	"github.com/casm-project/casm/internal/costmodel"
 	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/distkey"
+	"github.com/casm-project/casm/internal/exec"
 	"github.com/casm-project/casm/internal/localeval"
 	"github.com/casm-project/casm/internal/mr"
 	"github.com/casm-project/casm/internal/optimizer"
@@ -86,6 +87,12 @@ type Config struct {
 	// (default GOMAXPROCS each).
 	MapParallelism    int
 	ReduceParallelism int
+	// Executor is the shared task-scheduler pool the engine's jobs run on
+	// (default: the process-wide exec.Default()). Give several engines the
+	// same executor and their concurrent EvaluateContext calls multiplex
+	// over one bounded worker pool with FIFO-fair admission, instead of
+	// oversubscribing the machine with per-call goroutine floods.
+	Executor *exec.Executor
 	// Transport picks the shuffle implementation (default in-memory).
 	Transport transport.Factory
 	// EarlyAggregation selects the combiner mode (default off).

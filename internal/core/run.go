@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -27,10 +28,21 @@ type PlanOutcome struct {
 	SampleSeconds float64
 }
 
-// Plan chooses the execution plan for the workflow over the dataset,
-// applying the plan cache, the cost-model optimizer, forced overrides,
-// and (optionally) sampling-based skew handling, in that order.
+// Plan chooses the execution plan under context.Background(); see
+// PlanContext.
 func (e *Engine) Plan(w *workflow.Workflow, ds *Dataset) (PlanOutcome, error) {
+	return e.PlanContext(context.Background(), w, ds)
+}
+
+// PlanContext chooses the execution plan for the workflow over the
+// dataset, applying the plan cache, the cost-model optimizer, forced
+// overrides, and (optionally) sampling-based skew handling, in that
+// order. Planning runs inline on the caller's goroutine; ctx bounds the
+// dataset scans (cardinality counting, skew sampling) it may perform.
+func (e *Engine) PlanContext(ctx context.Context, w *workflow.Workflow, ds *Dataset) (PlanOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return PlanOutcome{}, err
+	}
 	n := ds.NumRecords
 	if n == 0 {
 		counted, err := CountRecords(ds)
@@ -95,6 +107,9 @@ func (e *Engine) Plan(w *workflow.Workflow, ds *Dataset) (PlanOutcome, error) {
 
 	out := PlanOutcome{Plan: plan}
 	if e.cfg.SkewMode == SkewSampling && e.cfg.ForceKey == nil && e.cfg.ForceCF == 0 {
+		if err := ctx.Err(); err != nil {
+			return PlanOutcome{}, err
+		}
 		sample, bytesRead, err := sampleDataset(ds, e.cfg.SampleSize, e.cfg.Seed)
 		if err != nil {
 			return PlanOutcome{}, err
@@ -155,17 +170,38 @@ func sampleDataset(ds *Dataset, n int, seed int64) ([]cube.Record, int64, error)
 	return res.Sample(), bytesRead, nil
 }
 
-// Run plans and executes the workflow over the dataset.
+// Run plans and executes the workflow over the dataset under
+// context.Background(); it is the compatibility wrapper around
+// EvaluateContext for callers without a cancellation story.
 func (e *Engine) Run(w *workflow.Workflow, ds *Dataset) (*Result, error) {
-	outcome, err := e.Plan(w, ds)
+	return e.EvaluateContext(context.Background(), w, ds)
+}
+
+// EvaluateContext plans and executes the workflow over the dataset. The
+// job's map/reduce tasks run on Config.Executor's shared pool, so any
+// number of concurrent EvaluateContext calls (on one engine or many
+// sharing an executor) multiplex over one bounded set of workers.
+// Cancelling ctx tears the in-flight job down — shuffle senders unblock,
+// spill and merge loops abort, temporary state is released — and the
+// call returns an error satisfying errors.Is(err, context.Canceled).
+func (e *Engine) EvaluateContext(ctx context.Context, w *workflow.Workflow, ds *Dataset) (*Result, error) {
+	outcome, err := e.PlanContext(ctx, w, ds)
 	if err != nil {
 		return nil, err
 	}
-	return e.RunWithPlan(w, ds, outcome)
+	return e.RunWithPlanContext(ctx, w, ds, outcome)
 }
 
-// RunWithPlan executes the workflow under an explicit plan outcome.
+// RunWithPlan executes the workflow under an explicit plan outcome and
+// context.Background(); see RunWithPlanContext.
 func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutcome) (*Result, error) {
+	return e.RunWithPlanContext(context.Background(), w, ds, outcome)
+}
+
+// RunWithPlanContext executes the workflow under an explicit plan
+// outcome; see EvaluateContext for the execution and cancellation
+// contract.
+func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, ds *Dataset, outcome PlanOutcome) (*Result, error) {
 	s := ds.Schema
 	plan := outcome.Plan
 	bm, err := distkey.NewBlockMapper(s, plan.Key, plan.ClusteringFactor)
@@ -331,6 +367,7 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 		Reduce: reduceFn,
 		Config: mr.Config{
 			NumReducers:       e.cfg.NumReducers,
+			Executor:          e.cfg.Executor,
 			MapParallelism:    e.cfg.MapParallelism,
 			ReduceParallelism: e.cfg.ReduceParallelism,
 			Transport:         e.cfg.Transport,
@@ -352,7 +389,7 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 	if e.cfg.Stage == StageMapOnly {
 		job.Reduce = nil
 	}
-	res, err := mr.Run(job)
+	res, err := mr.RunContext(ctx, job)
 	if err != nil {
 		return nil, err
 	}

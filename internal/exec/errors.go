@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrorCollector aggregates task errors thread-safely. It replaces the
+// substrate's original first-error-wins collector with errors.Join
+// semantics: every real failure is kept, prefixed with its task's label
+// ("map task dfs-block-3: ..."), so a multi-task failure reports all of
+// its causes. Pure cancellation (context.Canceled / DeadlineExceeded) is
+// classified separately: once a job's context is cancelled every
+// in-flight task returns ctx.Err(), and joining those would bury the
+// real root cause — so cancellation only surfaces from Err when no real
+// error was recorded, and then as the context error itself, satisfying
+// errors.Is(err, context.Canceled).
+type ErrorCollector struct {
+	// OnError, when non-nil, fires exactly once at the first real error
+	// added (cancellation never fires it).
+	OnError func()
+
+	mu       sync.Mutex
+	errs     []error
+	canceled error
+	fired    bool
+}
+
+// Add records one task's outcome; nil is ignored. label, when non-empty,
+// prefixes the recorded error.
+func (c *ErrorCollector) Add(label string, err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if c.canceled == nil {
+			c.canceled = err
+		}
+		c.mu.Unlock()
+		return
+	}
+	if label != "" {
+		err = fmt.Errorf("%s: %w", label, err)
+	}
+	c.errs = append(c.errs, err)
+	fire := !c.fired && c.OnError != nil
+	c.fired = true
+	c.mu.Unlock()
+	if fire {
+		c.OnError()
+	}
+}
+
+// Failed reports whether a real (non-cancellation) error has been
+// recorded. Tasks use it to stop starting new work once a sibling died.
+func (c *ErrorCollector) Failed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.errs) > 0
+}
+
+// Err returns the aggregate: errors.Join of all real errors; else the
+// first cancellation error observed; else nil.
+func (c *ErrorCollector) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) > 0 {
+		return errors.Join(c.errs...)
+	}
+	return c.canceled
+}

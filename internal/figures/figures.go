@@ -9,6 +9,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -145,7 +146,7 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 // runQuery executes one engine run and returns the simulated seconds at
 // paper magnitude (see Config.Represent).
-func runQuery(su *workload.Suite, records []cube.Record, cfg core.Config, q int, fc Config) (float64, *core.Result, error) {
+func runQuery(ctx context.Context, su *workload.Suite, records []cube.Record, cfg core.Config, q int, fc Config) (float64, *core.Result, error) {
 	w, err := su.Query(q)
 	if err != nil {
 		return 0, nil, err
@@ -156,7 +157,7 @@ func runQuery(su *workload.Suite, records []cube.Record, cfg core.Config, q int,
 		return 0, nil, err
 	}
 	ds := core.MemoryDataset(su.Schema, records, 4*cfg.NumReducers)
-	res, err := eng.Run(w, ds)
+	res, err := eng.EvaluateContext(ctx, w, ds)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -174,7 +175,7 @@ type PanelA struct {
 }
 
 // Fig4a runs the scale-up experiment.
-func Fig4a(cfg Config) (*PanelA, error) {
+func Fig4a(ctx context.Context, cfg Config) (*PanelA, error) {
 	cfg = cfg.withDefaults()
 	su := workload.NewSuite()
 	p := &PanelA{
@@ -185,7 +186,7 @@ func Fig4a(cfg Config) (*PanelA, error) {
 		records := su.Generate(size, workload.Uniform, cfg.Seed)
 		row := make([]float64, len(p.Queries))
 		for j, q := range p.Queries {
-			sec, _, err := runQuery(su, records, core.Config{NumReducers: cfg.Reducers}, q, cfg)
+			sec, _, err := runQuery(ctx, su, records, core.Config{NumReducers: cfg.Reducers}, q, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("figures: 4a Q%d at %d: %w", q, size, err)
 			}
@@ -225,7 +226,7 @@ type PanelB struct {
 }
 
 // Fig4b runs the speed-up experiment.
-func Fig4b(cfg Config) (*PanelB, error) {
+func Fig4b(ctx context.Context, cfg Config) (*PanelB, error) {
 	cfg = cfg.withDefaults()
 	su := workload.NewSuite()
 	p := &PanelB{
@@ -237,7 +238,7 @@ func Fig4b(cfg Config) (*PanelB, error) {
 	for _, m := range p.Reducers {
 		row := make([]float64, len(p.Queries))
 		for j, q := range p.Queries {
-			sec, _, err := runQuery(su, records, core.Config{NumReducers: m}, q, cfg)
+			sec, _, err := runQuery(ctx, su, records, core.Config{NumReducers: m}, q, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("figures: 4b Q%d m=%d: %w", q, m, err)
 			}

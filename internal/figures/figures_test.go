@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func tiny(t *testing.T) Config {
 }
 
 func TestFig4a(t *testing.T) {
-	p, err := Fig4a(tiny(t))
+	p, err := Fig4a(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestFig4a(t *testing.T) {
 }
 
 func TestFig4b(t *testing.T) {
-	p, err := Fig4b(tiny(t))
+	p, err := Fig4b(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestFig4b(t *testing.T) {
 }
 
 func TestFig4c(t *testing.T) {
-	p, err := Fig4c(tiny(t))
+	p, err := Fig4c(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFig4c(t *testing.T) {
 }
 
 func TestFig4d(t *testing.T) {
-	p, err := Fig4d(tiny(t))
+	p, err := Fig4d(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFig4d(t *testing.T) {
 }
 
 func TestFig4e(t *testing.T) {
-	p, err := Fig4e(tiny(t))
+	p, err := Fig4e(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestFig4e(t *testing.T) {
 }
 
 func TestFig4f(t *testing.T) {
-	p, err := Fig4f(tiny(t))
+	p, err := Fig4f(context.Background(), tiny(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/casm-project/casm/internal/core"
@@ -20,7 +21,7 @@ type PanelC struct {
 }
 
 // Fig4c runs the clustering-factor sweep on the sliding-window query Q5.
-func Fig4c(cfg Config) (*PanelC, error) {
+func Fig4c(ctx context.Context, cfg Config) (*PanelC, error) {
 	cfg = cfg.withDefaults()
 	su := workload.NewSuite()
 	p := &PanelC{
@@ -38,7 +39,7 @@ func Fig4c(cfg Config) (*PanelC, error) {
 	p.OptimalCF = plan.ClusteringFactor
 	raw := make([]float64, len(p.Factors))
 	for i, cf := range p.Factors {
-		sec, _, err := runQuery(su, records, core.Config{NumReducers: p.Reducers, ForceCF: cf}, 5, cfg)
+		sec, _, err := runQuery(ctx, su, records, core.Config{NumReducers: p.Reducers, ForceCF: cf}, 5, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("figures: 4c cf=%d: %w", cf, err)
 		}
@@ -80,7 +81,7 @@ type PanelD struct {
 }
 
 // Fig4d runs the stage-stop breakdown on Q6.
-func Fig4d(cfg Config) (*PanelD, error) {
+func Fig4d(ctx context.Context, cfg Config) (*PanelD, error) {
 	cfg = cfg.withDefaults()
 	su := workload.NewSuite()
 	p := &PanelD{
@@ -89,13 +90,13 @@ func Fig4d(cfg Config) (*PanelD, error) {
 	}
 	records := su.Generate(p.Records, workload.Uniform, cfg.Seed)
 	for _, st := range []core.Stage{core.StageMapOnly, core.StageShuffle, core.StageSort, core.StageFull} {
-		sec, _, err := runQuery(su, records, core.Config{NumReducers: cfg.Reducers, Stage: st}, 6, cfg)
+		sec, _, err := runQuery(ctx, su, records, core.Config{NumReducers: cfg.Reducers, Stage: st}, 6, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("figures: 4d stage %d: %w", st, err)
 		}
 		p.Seconds = append(p.Seconds, sec)
 	}
-	sec, _, err := runQuery(su, records,
+	sec, _, err := runQuery(ctx, su, records,
 		core.Config{NumReducers: cfg.Reducers, SortMode: core.CombinedKeySort}, 6, cfg)
 	if err != nil {
 		return nil, err
@@ -125,7 +126,7 @@ type PanelE struct {
 }
 
 // Fig4e runs the early-aggregation comparison.
-func Fig4e(cfg Config) (*PanelE, error) {
+func Fig4e(ctx context.Context, cfg Config) (*PanelE, error) {
 	cfg = cfg.withDefaults()
 	su := workload.NewSuite()
 	p := &PanelE{Records: cfg.n(300_000)}
@@ -145,7 +146,7 @@ func Fig4e(cfg Config) (*PanelE, error) {
 			// Few, large splits: each mapper sees enough records for the
 			// combiner's grouping to matter, as on the paper's cluster.
 			ds := core.MemoryDataset(su.Schema, records, 8)
-			res, err := eng.Run(w, ds)
+			res, err := eng.EvaluateContext(ctx, w, ds)
 			if err != nil {
 				return nil, fmt.Errorf("figures: 4e DS%d: %w", i, err)
 			}
@@ -184,7 +185,7 @@ type PanelF struct {
 // temporally skewed data, using the sliding-window query Q5. The panel
 // runs with 50 reducers so that the minimum-blocks heuristics actually
 // constrain the clustering factor, as in the paper's cluster.
-func Fig4f(cfg Config) (*PanelF, error) {
+func Fig4f(ctx context.Context, cfg Config) (*PanelF, error) {
 	cfg = cfg.withDefaults()
 	su := workload.NewSuite()
 	p := &PanelF{
@@ -203,12 +204,12 @@ func Fig4f(cfg Config) (*PanelF, error) {
 	for i, c := range configs {
 		var pair [2]float64
 		// Run on uniform (index 0) and skewed (index 1).
-		sec, res, err := runQuery(su, uniform, c, 5, cfg)
+		sec, res, err := runQuery(ctx, su, uniform, c, 5, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("figures: 4f %s uniform: %w", p.Plans[i], err)
 		}
 		pair[0] = sec
-		sec, res, err = runQuery(su, skewed, c, 5, cfg)
+		sec, res, err = runQuery(ctx, su, skewed, c, 5, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("figures: 4f %s skewed: %w", p.Plans[i], err)
 		}

@@ -21,6 +21,7 @@ package groupx
 
 import (
 	"bytes"
+	"context"
 	"slices"
 
 	"github.com/casm-project/casm/internal/sortx"
@@ -52,6 +53,11 @@ type Collector interface {
 	// Iterate finalizes the collector; it cannot be reused afterwards.
 	Iterate() (Iterator, error)
 	Stats() Stats
+	// Close releases the collector's resources (spill-run descriptors,
+	// buffered pairs) without iterating — the error/cancel teardown
+	// hook. Idempotent; on the happy path the Iterator's Close already
+	// released the runs and this is a no-op.
+	Close()
 }
 
 // PairKeyCompare orders pairs by their full shuffle key, the comparison
@@ -70,12 +76,20 @@ type sortCollector struct {
 // shuffle-key order, which both groups them and realizes a composite
 // key's secondary sort.
 func NewSort(codec sortx.Codec[transport.Pair], dir string, memItems int) Collector {
-	return &sortCollector{s: sortx.New(PairKeyCompare, codec, dir, memItems)}
+	return NewSortContext(context.Background(), codec, dir, memItems)
+}
+
+// NewSortContext is NewSort with a cancellation context threaded into
+// the underlying sorter's spill and merge loops.
+func NewSortContext(ctx context.Context, codec sortx.Codec[transport.Pair], dir string, memItems int) Collector {
+	return &sortCollector{s: sortx.NewContext(ctx, PairKeyCompare, codec, dir, memItems)}
 }
 
 func (c *sortCollector) Add(p transport.Pair) error { return c.s.Add(p) }
 
 func (c *sortCollector) Iterate() (Iterator, error) { return c.s.Iterate() }
+
+func (c *sortCollector) Close() { c.s.Close() }
 
 func (c *sortCollector) Stats() Stats {
 	ss := c.s.Stats()
@@ -95,6 +109,7 @@ type hashGroup struct {
 }
 
 type hashCollector struct {
+	ctx      context.Context
 	codec    sortx.Codec[transport.Pair]
 	dir      string
 	memItems int
@@ -117,7 +132,14 @@ type hashCollector struct {
 // matching the sortx convention). codec and dir parameterize the spill
 // fallback.
 func NewHash(codec sortx.Codec[transport.Pair], dir string, memItems int) Collector {
+	return NewHashContext(context.Background(), codec, dir, memItems)
+}
+
+// NewHashContext is NewHash with a cancellation context threaded into
+// the spill-fallback sorter's spill and merge loops.
+func NewHashContext(ctx context.Context, codec sortx.Codec[transport.Pair], dir string, memItems int) Collector {
 	return &hashCollector{
+		ctx:      ctx,
 		codec:    codec,
 		dir:      dir,
 		memItems: memItems,
@@ -161,7 +183,7 @@ func (c *hashCollector) sortedGroups() []*hashGroup {
 // anywhere on the spill path.
 func (c *hashCollector) flush() error {
 	if c.sorter == nil {
-		c.sorter = sortx.New(PairKeyCompare, c.codec, c.dir, c.memItems)
+		c.sorter = sortx.NewContext(c.ctx, PairKeyCompare, c.codec, c.dir, c.memItems)
 	}
 	for _, g := range c.sortedGroups() {
 		for _, p := range g.pairs {
@@ -203,6 +225,14 @@ func (c *hashCollector) Iterate() (Iterator, error) {
 		}
 		return transport.Pair{}, false, nil
 	}}, nil
+}
+
+func (c *hashCollector) Close() {
+	if c.sorter != nil {
+		c.sorter.Close()
+	}
+	c.groups = nil
+	c.done = true
 }
 
 func (c *hashCollector) Stats() Stats {

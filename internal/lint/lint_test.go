@@ -89,3 +89,52 @@ func isStringConv(call *ast.CallExpr) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	return ok && id.Name == "string" && len(call.Args) == 1
 }
+
+// schedulerOwnedDirs are the packages whose concurrency is owned by the
+// exec runtime: every concurrent task must be submitted through an
+// exec.Group (Go for pooled tasks, GoService for drain loops) so it is
+// bounded by the shared pool, error-collected with its task label, and
+// torn down on cancellation. A naked `go func` here escapes all three.
+func schedulerOwnedFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, pat := range []string{"../mr/*.go", "../core/*.go"} {
+		m, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range m {
+			if !strings.HasSuffix(f, "_test.go") {
+				files = append(files, f)
+			}
+		}
+	}
+	if len(files) < 4 {
+		t.Fatalf("scheduler-owned globs matched only %v — layout changed?", files)
+	}
+	return files
+}
+
+// TestNoNakedGoroutinesInSchedulerOwnedPackages fails if a `go`
+// statement appears in non-test files of internal/mr or internal/core.
+// Those packages run their concurrency on the shared exec.Executor;
+// goroutines spawned outside it are invisible to job teardown (they
+// outlive cancellation), uncounted by the pool's admission limits, and
+// drop their errors on the floor. Route new concurrency through
+// Group.Go / Group.GoService instead.
+func TestNoNakedGoroutinesInSchedulerOwnedPackages(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, file := range schedulerOwnedFiles(t) {
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				t.Errorf("%s: naked go statement in a scheduler-owned package — submit tasks via exec.Group (Go/GoService)",
+					fset.Position(g.Pos()))
+			}
+			return true
+		})
+	}
+}

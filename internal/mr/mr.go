@@ -20,8 +20,14 @@
 // allocates nothing per pair. String-keyed entry points survive as
 // explicit compatibility shims (EmitString and friends).
 //
-// The framework is intentionally synchronous per job: Run executes the
-// whole job and returns its output and statistics.
+// Execution is synchronous per call — RunContext executes the whole job
+// and returns its output and statistics — but the goroutines doing the
+// work come from a shared exec.Executor (Config.Executor), so any number
+// of concurrent RunContext calls multiplex over one bounded pool. The
+// context cancels the whole pipeline: senders unblock, collectors drain
+// and close, spill runs are reclaimed, and RunContext returns an error
+// satisfying errors.Is(err, context.Canceled). Run is the
+// context.Background() compatibility wrapper.
 package mr
 
 import (
@@ -29,6 +35,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/casm-project/casm/internal/exec"
 	"github.com/casm-project/casm/internal/transport"
 )
 
@@ -37,6 +44,13 @@ import (
 type TaskStats struct {
 	Task     string
 	Attempts int
+
+	// Timing is the scheduler-stamped task lifecycle: Start is when the
+	// executor dispatched the task (so Start minus the job's start is
+	// the queueing delay the shared pool imposed) and Wall how long it
+	// ran. Observability only — the cost model prices neither, and the
+	// figures pipeline never serializes them.
+	exec.Timing
 
 	// Map side.
 	BytesRead     int64
@@ -244,9 +258,18 @@ const (
 type Config struct {
 	// NumReducers is the number of reduce tasks (required, ≥ 1).
 	NumReducers int
-	// MapParallelism bounds concurrent map tasks (default GOMAXPROCS).
+	// Executor is the shared task-scheduler pool the job's map and
+	// reduce tasks run on (default: the process-wide exec.Default()).
+	// Concurrent jobs configured with the same executor multiplex over
+	// its bounded workers with FIFO-fair admission instead of each
+	// spawning their own goroutines.
+	Executor *exec.Executor
+	// MapParallelism bounds this job's concurrent map tasks (default
+	// GOMAXPROCS); on a shared executor it is the job's admission limit,
+	// so one job cannot monopolize the pool.
 	MapParallelism int
-	// ReduceParallelism bounds concurrent reduce tasks (default GOMAXPROCS).
+	// ReduceParallelism bounds this job's concurrent reduce tasks
+	// (default GOMAXPROCS); see MapParallelism.
 	ReduceParallelism int
 	// Transport produces the shuffle transport (default in-memory).
 	Transport transport.Factory
@@ -304,6 +327,9 @@ type Config struct {
 func (c Config) withDefaults() (Config, error) {
 	if c.NumReducers < 1 {
 		return c, fmt.Errorf("mr: NumReducers %d < 1", c.NumReducers)
+	}
+	if c.Executor == nil {
+		c.Executor = exec.Default()
 	}
 	if c.MapParallelism < 1 {
 		c.MapParallelism = runtime.GOMAXPROCS(0)

@@ -2,17 +2,39 @@ package mr
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
-	"sync"
 	"time"
 
+	"github.com/casm-project/casm/internal/exec"
 	"github.com/casm-project/casm/internal/groupx"
 	"github.com/casm-project/casm/internal/transport"
 )
 
-// Run executes the job to completion and returns its output and counters.
-func Run(job Job) (*Result, error) {
+// cancelCheckStride is how many records/pairs a hot loop processes
+// between cancellation polls. The poll is a non-blocking read of the
+// cached Done channel — ctx.Err() would take the context mutex, which is
+// contended when every task of a job shares one context — but even that
+// is kept off the per-record path; a stride of 1024 bounds post-cancel
+// latency to microseconds of extra work.
+const cancelCheckStride = 1024
+
+// Run executes the job to completion under context.Background(); it is
+// the compatibility wrapper around RunContext for callers without a
+// cancellation story.
+func Run(job Job) (*Result, error) { return RunContext(context.Background(), job) }
+
+// RunContext executes the job to completion on cfg.Executor's shared
+// worker pool and returns its output and counters. Cancelling ctx tears
+// the pipeline down promptly — blocked shuffle sends unblock, spill and
+// merge loops abort, collectors drain the transport and release their
+// spill runs — and RunContext returns an error satisfying
+// errors.Is(err, context.Canceled). When tasks fail, every real failure
+// is reported (errors.Join), each prefixed with its task identity; the
+// first real failure also cancels the job's context so sibling tasks
+// abort instead of running a doomed job to completion.
+func RunContext(ctx context.Context, job Job) (*Result, error) {
 	cfg, err := job.Config.withDefaults()
 	if err != nil {
 		return nil, err
@@ -29,6 +51,12 @@ func Run(job Job) (*Result, error) {
 	}
 	start := time.Now()
 
+	// jobCtx governs every task of this job; cancelJob is the teardown
+	// trigger shared by external cancellation and internal failure.
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	defer cancelJob()
+	ex := cfg.Executor
+
 	var tr transport.Transport
 	if !cfg.ShuffleDisabled {
 		tr, err = cfg.Transport(cfg.NumReducers)
@@ -40,74 +68,62 @@ func Run(job Job) (*Result, error) {
 
 	// Reducer collectors: drain the shuffle into per-reducer grouping
 	// collectors (hash table or external sorter, per GroupMode)
-	// concurrently with the map phase, so transport backpressure never
-	// deadlocks.
+	// concurrently with the map phase. They are service tasks — dedicated
+	// goroutines outside the executor's worker budget — because a
+	// collector parked in the queue behind map tasks would deadlock the
+	// pool on transport backpressure.
 	reduceStats := make([]TaskStats, cfg.NumReducers)
 	collectors := make([]groupx.Collector, cfg.NumReducers)
-	var collectWG sync.WaitGroup
-	var collectErr firstErr
+	defer func() {
+		// Teardown runs on every exit path: release collector resources
+		// (buffered pairs and spill-run descriptors — the files themselves
+		// are unlinked at creation, so closing the descriptors reclaims the
+		// disk space). Close is idempotent, so the success path, where the
+		// reduce tasks already drained the collectors, is a no-op.
+		for _, c := range collectors {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	collectGroup := ex.NewGroup(jobCtx, exec.Options{OnError: cancelJob})
 	if !cfg.ShuffleDisabled {
 		for r := 0; r < cfg.NumReducers; r++ {
 			r := r
 			reduceStats[r].Task = fmt.Sprintf("reduce-%d", r)
 			if cfg.GroupMode == GroupHash {
-				collectors[r] = groupx.NewHash(pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
+				collectors[r] = groupx.NewHashContext(jobCtx, pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
 			} else {
-				collectors[r] = groupx.NewSort(pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
+				collectors[r] = groupx.NewSortContext(jobCtx, pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
 			}
-			collectWG.Add(1)
-			go func() {
-				defer collectWG.Done()
-				st := &reduceStats[r]
-				for batch := range tr.Receive(r) {
-					for _, p := range batch {
-						st.PairsIn++
-						st.BytesIn += p.Size()
-						if collectErr.get() != nil {
-							continue // keep draining to avoid sender deadlock
-						}
-						if err := collectors[r].Add(p); err != nil {
-							collectErr.set(err)
-						}
-					}
-				}
-			}()
+			collectGroup.GoService(fmt.Sprintf("mr: collect reduce-%d", r), func(tctx context.Context) error {
+				return drainShuffle(tctx, tr, r, collectors[r], &reduceStats[r], cancelJob)
+			})
 		}
 	}
 
-	// Map phase.
+	// Map phase: pooled tasks, bounded per job by MapParallelism.
 	mapStats := make([]TaskStats, len(splits))
-	var mapErr firstErr
-	sem := make(chan struct{}, cfg.MapParallelism)
-	var mapWG sync.WaitGroup
+	mapGroup := ex.NewGroup(jobCtx, exec.Options{Limit: cfg.MapParallelism, OnError: cancelJob})
 	for i, sp := range splits {
 		i, sp := i, sp
-		mapWG.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer func() { <-sem; mapWG.Done() }()
-			if mapErr.get() != nil {
-				return
-			}
-			st := &mapStats[i]
-			st.Task = sp.Label()
-			if err := runMapTask(job.Map, sp, st, cfg, tr); err != nil {
-				mapErr.set(fmt.Errorf("mr: map task %s: %w", sp.Label(), err))
-			}
-		}()
+		mapStats[i].Task = sp.Label()
+		mapGroup.Go("mr: map task "+sp.Label(), &mapStats[i].Timing, func(tctx context.Context) error {
+			return runMapTask(tctx, job.Map, sp, &mapStats[i], cfg, tr)
+		})
 	}
-	mapWG.Wait()
+
+	var jobErrs exec.ErrorCollector
+	jobErrs.Add("", mapGroup.Wait())
 	if tr != nil {
-		if err := tr.CloseSend(); err != nil {
-			mapErr.set(err)
-		}
-		collectWG.Wait()
+		// CloseSend must run even when the job is cancelled or the map
+		// phase failed: it closes the receive side, which is what lets the
+		// collectors' drain loops terminate.
+		jobErrs.Add("mr: close shuffle", tr.CloseSend(jobCtx))
+		jobErrs.Add("", collectGroup.Wait())
 	}
-	if err := mapErr.get(); err != nil {
+	if err := jobErrs.Err(); err != nil {
 		return nil, err
-	}
-	if err := collectErr.get(); err != nil {
-		return nil, fmt.Errorf("mr: collect: %w", err)
 	}
 
 	result := &Result{Stats: JobStats{MapTasks: mapStats, ReduceTasks: reduceStats}}
@@ -122,25 +138,14 @@ func Run(job Job) (*Result, error) {
 
 	// Reduce phase: process each reducer's sorted stream group by group.
 	outputs := make([][]transport.Pair, cfg.NumReducers)
-	var redErr firstErr
-	rsem := make(chan struct{}, cfg.ReduceParallelism)
-	var redWG sync.WaitGroup
+	reduceGroup := ex.NewGroup(jobCtx, exec.Options{Limit: cfg.ReduceParallelism, OnError: cancelJob})
 	for r := 0; r < cfg.NumReducers; r++ {
 		r := r
-		redWG.Add(1)
-		rsem <- struct{}{}
-		go func() {
-			defer func() { <-rsem; redWG.Done() }()
-			if redErr.get() != nil {
-				return
-			}
-			if err := runReduceTask(job.Reduce, collectors[r], &reduceStats[r], cfg, &outputs[r]); err != nil {
-				redErr.set(fmt.Errorf("mr: reduce task %d: %w", r, err))
-			}
-		}()
+		reduceGroup.Go(fmt.Sprintf("mr: reduce task %d", r), &reduceStats[r].Timing, func(tctx context.Context) error {
+			return runReduceTask(tctx, job.Reduce, collectors[r], &reduceStats[r], cfg, &outputs[r])
+		})
 	}
-	redWG.Wait()
-	if err := redErr.get(); err != nil {
+	if err := reduceGroup.Wait(); err != nil {
 		return nil, err
 	}
 	for _, out := range outputs {
@@ -150,14 +155,50 @@ func Run(job Job) (*Result, error) {
 	return result, nil
 }
 
+// drainShuffle moves one reducer's shuffle stream into its collector. It
+// always drains the stream to exhaustion — stopping early would park
+// senders on a full transport forever — but stops *collecting* at the
+// first Add error or once the job is cancelled, and cancels the job on an
+// Add failure so map tasks stop producing into a doomed shuffle.
+func drainShuffle(ctx context.Context, tr transport.Transport, r int, coll groupx.Collector, st *TaskStats, cancelJob context.CancelFunc) error {
+	done := ctx.Done()
+	var addErr error
+	for batch := range tr.Receive(r) {
+		for _, p := range batch {
+			st.PairsIn++
+			st.BytesIn += p.Size()
+			if addErr != nil {
+				continue
+			}
+			if st.PairsIn&(cancelCheckStride-1) == 0 {
+				select {
+				case <-done:
+					addErr = ctx.Err()
+					continue
+				default:
+				}
+			}
+			if err := coll.Add(p); err != nil {
+				addErr = err
+				cancelJob()
+			}
+		}
+	}
+	return addErr
+}
+
 // runMapTask executes one split with retry. The failure injector only
 // fires at task start, before any pair is emitted, so retries are safe
 // (re-emission after partial sends would duplicate data; real systems
 // solve this with attempt-tagged output files, which our in-process
-// shuffle does not need).
-func runMapTask(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Transport) error {
+// shuffle does not need). Cancellation is never retried: a cancelled
+// attempt is the job being torn down, not the task failing.
+func runMapTask(ctx context.Context, mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Transport) error {
 	var lastErr error
 	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		st.Attempts = attempt
 		if cfg.FailureInjector != nil {
 			if err := cfg.FailureInjector(sp.Label(), attempt); err != nil {
@@ -165,7 +206,7 @@ func runMapTask(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport
 				continue
 			}
 		}
-		if err := mapOnce(mapFn, sp, st, cfg, tr); err != nil {
+		if err := mapOnce(ctx, mapFn, sp, st, cfg, tr); err != nil {
 			return err // mid-task errors are not retried (see above)
 		}
 		return nil
@@ -173,7 +214,7 @@ func runMapTask(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport
 	return fmt.Errorf("giving up after %d attempts: %w", cfg.MaxAttempts, lastErr)
 }
 
-func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Transport) error {
+func mapOnce(ctx context.Context, mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Transport) error {
 	it, err := sp.Open()
 	if err != nil {
 		return err
@@ -185,7 +226,7 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 	// round-trips drop by the batch factor.
 	var bw *transport.BatchWriter
 	if !cfg.ShuffleDisabled {
-		bw = transport.NewBatchWriter(tr, cfg.NumReducers, cfg.ShuffleBatchPairs)
+		bw = transport.NewBatchWriter(ctx, tr, cfg.NumReducers, cfg.ShuffleBatchPairs)
 	}
 	send := func(key, value []byte) error {
 		st.PairsOut++
@@ -218,10 +259,11 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 			return nil
 		}
 	}
-	ctx := &MapCtx{Stats: st, emit: emit}
+	mctx := &MapCtx{Stats: st, emit: emit}
 	if cfg.NewMapLocal != nil {
-		ctx.Local = cfg.NewMapLocal(st)
+		mctx.Local = cfg.NewMapLocal(st)
 	}
+	done := ctx.Done()
 	for {
 		rec, ok, err := it.Next()
 		if err != nil {
@@ -231,7 +273,14 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 			break
 		}
 		st.Records++
-		if err := mapFn(ctx, rec); err != nil {
+		if st.Records&(cancelCheckStride-1) == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if err := mapFn(mctx, rec); err != nil {
 			return err
 		}
 	}
@@ -249,7 +298,10 @@ func mapOnce(mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Tr
 	return nil
 }
 
-func runReduceTask(reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cfg Config, out *[]transport.Pair) error {
+func runReduceTask(ctx context.Context, reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cfg Config, out *[]transport.Pair) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	it, err := coll.Iterate()
 	if err != nil {
 		return err
@@ -257,7 +309,7 @@ func runReduceTask(reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cf
 	defer it.Close()
 	fillGroupStats(st, coll.Stats())
 
-	ctx := &ReduceCtx{
+	rctx := &ReduceCtx{
 		Stats:   st,
 		TempDir: cfg.TempDir,
 		emit: func(key, value []byte) {
@@ -267,22 +319,32 @@ func runReduceTask(reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cf
 		},
 	}
 	if cfg.NewReduceLocal != nil {
-		ctx.Local = cfg.NewReduceLocal(st)
+		rctx.Local = cfg.NewReduceLocal(st)
 	}
 	// groupBuf holds the current group's identity, copied out of the
 	// first pair's key. The copy is mandatory: a spilled pair's key
 	// aliases the sorter's reused run-read buffer, which advancing the
 	// iterator within the group overwrites — an aliasing group slice
 	// would corrupt the boundary comparison mid-group.
+	//
+	// Per-pair cancellation rides on it.Next (the collector's sorter
+	// polls the same context in its merge loop); the per-group poll here
+	// covers the hash path's in-memory drain, which bypasses the sorter.
+	done := ctx.Done()
 	var groupBuf []byte
 	cur, ok, err := it.Next()
 	if err != nil {
 		return err
 	}
 	for ok {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
 		groupBuf = append(groupBuf[:0], cfg.GroupBy(cur.Key)...)
 		gi := &GroupIter{it: it, groupBy: cfg.GroupBy, group: groupBuf, cur: cur, curValid: true}
-		if err := reduceFn(ctx, groupBuf, gi); err != nil {
+		if err := reduceFn(rctx, groupBuf, gi); err != nil {
 			return err
 		}
 		if err := gi.Drain(); err != nil {
@@ -389,24 +451,4 @@ func (pairCodec) Decode(b []byte) (transport.Pair, error) {
 		Key:   b[k : k+int(n) : k+int(n)],
 		Value: b[k+int(n):],
 	}, nil
-}
-
-// firstErr remembers the first error set, thread-safely.
-type firstErr struct {
-	mu  sync.Mutex
-	err error
-}
-
-func (f *firstErr) set(err error) {
-	f.mu.Lock()
-	if f.err == nil {
-		f.err = err
-	}
-	f.mu.Unlock()
-}
-
-func (f *firstErr) get() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.err
 }

@@ -15,6 +15,7 @@ package sortx
 import (
 	"bufio"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -51,6 +52,13 @@ type Sorter[T any] struct {
 	dir       string
 	memBudget int
 
+	// Cancellation state (NewContext): cancel is the cached Done channel
+	// — polling a cached closed-channel select is lock-free, unlike
+	// ctx.Err(), which takes the context's mutex and would contend when
+	// many reduce tasks share one job context.
+	ctx    context.Context
+	cancel <-chan struct{}
+
 	buf     []T
 	scratch []byte // reused per-item encode buffer for spills
 	runs    []*os.File
@@ -64,6 +72,36 @@ type Sorter[T any] struct {
 // memBudget < 1 keeps everything in memory.
 func New[T any](cmp func(a, b T) int, codec Codec[T], dir string, memBudget int) *Sorter[T] {
 	return &Sorter[T]{cmp: cmp, codec: codec, dir: dir, memBudget: memBudget}
+}
+
+// NewContext is New with a cancellation context: the spill and merge
+// loops poll ctx and abort with ctx.Err() once it is cancelled, so a
+// cancelled job never finishes writing or merging multi-megabyte runs it
+// is about to throw away.
+func NewContext[T any](ctx context.Context, cmp func(a, b T) int, codec Codec[T], dir string, memBudget int) *Sorter[T] {
+	s := New(cmp, codec, dir, memBudget)
+	if ctx != nil {
+		s.ctx = ctx
+		s.cancel = ctx.Done()
+	}
+	return s
+}
+
+// canceled reports the context's error once it is cancelled (nil for
+// sorters built without a context). The poll interval below bounds how
+// much spill/merge work happens between checks.
+const cancelCheckInterval = 1024
+
+func (s *Sorter[T]) canceled() error {
+	if s.cancel == nil {
+		return nil
+	}
+	select {
+	case <-s.cancel:
+		return s.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Stats returns the sorter's counters.
@@ -86,16 +124,27 @@ func (s *Sorter[T]) spill() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
+	if err := s.canceled(); err != nil {
+		return err
+	}
 	slices.SortStableFunc(s.buf, s.cmp)
 	f, err := os.CreateTemp(s.dir, "sortx-run-*.bin")
 	if err != nil {
 		return fmt.Errorf("sortx: create run: %w", err)
 	}
-	// The file is unlinked immediately so runs never outlive the process.
+	// The file is unlinked immediately so runs never outlive the process
+	// even on a crash; its disk space is reclaimed when the descriptor
+	// closes (happy path: the iterator's Close; teardown: Sorter.Close).
 	os.Remove(f.Name())
 	w := bufio.NewWriterSize(f, 1<<16)
 	var lenBuf [binary.MaxVarintLen64]byte
-	for _, it := range s.buf {
+	for n, it := range s.buf {
+		if n%cancelCheckInterval == 0 && n > 0 {
+			if err := s.canceled(); err != nil {
+				f.Close()
+				return err
+			}
+		}
 		before := cap(s.scratch)
 		data, err := s.codec.EncodeTo(s.scratch[:0], it)
 		if err != nil {
@@ -158,6 +207,10 @@ func (s *Sorter[T]) Iterate() (*Iterator[T], error) {
 		return nil, fmt.Errorf("sortx: Iterate called twice")
 	}
 	s.done = true
+	if err := s.canceled(); err != nil {
+		s.closeRuns()
+		return nil, err
+	}
 	slices.SortStableFunc(s.buf, s.cmp)
 	if len(s.runs) == 0 {
 		i := 0
@@ -204,9 +257,18 @@ func (s *Sorter[T]) Iterate() (*Iterator[T], error) {
 	// run buffer, which would corrupt an aliasing item that the caller is
 	// still looking at.
 	pending := -1
+	sinceCheck := 0
 	return &Iterator[T]{
 		next: func() (T, bool, error) {
 			var zero T
+			// Merge-loop cancellation check, counter-strided so the per-
+			// item cost stays one increment on the uncancelled path.
+			if sinceCheck++; sinceCheck >= cancelCheckInterval {
+				sinceCheck = 0
+				if err := s.canceled(); err != nil {
+					return zero, false, err
+				}
+			}
 			if pending >= 0 {
 				item, ok, err := sources[pending].next()
 				if err != nil {
@@ -236,6 +298,18 @@ func (s *Sorter[T]) closeRuns() {
 		f.Close()
 	}
 	s.runs = nil
+}
+
+// Close releases the sorter's resources without iterating: buffered
+// items are dropped and spill-run descriptors closed, reclaiming their
+// (already unlinked) disk space. It is the error/cancel teardown hook —
+// on the happy path the Iterator's Close releases the runs instead.
+// Idempotent, and safe after Iterate (the runs slice is then owned by
+// the iterator's close, which this call re-runs harmlessly).
+func (s *Sorter[T]) Close() {
+	s.closeRuns()
+	s.buf = nil
+	s.done = true
 }
 
 type runReader[T any] struct {

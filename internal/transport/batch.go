@@ -1,5 +1,7 @@
 package transport
 
+import "context"
+
 // BatchWriter accumulates pairs into per-reducer batches for one sender
 // (one map task) and ships each batch with a single SendBatch call when it
 // reaches batchSize. It is NOT safe for concurrent use — each sending
@@ -11,6 +13,7 @@ package transport
 // treat every pair given to Send as owned by the transport from that
 // point on.
 type BatchWriter struct {
+	ctx     context.Context
 	tr      Transport
 	size    int
 	bufs    [][]Pair
@@ -18,13 +21,19 @@ type BatchWriter struct {
 }
 
 // NewBatchWriter returns a writer shipping batches of batchSize pairs to
-// tr. A batchSize < 2 degenerates to one SendBatch per pair (batching
-// disabled).
-func NewBatchWriter(tr Transport, numReducers, batchSize int) *BatchWriter {
+// tr under ctx: every flush is a context-aware SendBatch, so a sender
+// blocked on backpressure unblocks when ctx is cancelled. The writer is
+// owned by one sending task, whose lifetime the context spans — storing
+// it here keeps the per-pair Send signature alloc-free. A batchSize < 2
+// degenerates to one SendBatch per pair (batching disabled).
+func NewBatchWriter(ctx context.Context, tr Transport, numReducers, batchSize int) *BatchWriter {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	return &BatchWriter{tr: tr, size: batchSize, bufs: make([][]Pair, numReducers)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &BatchWriter{ctx: ctx, tr: tr, size: batchSize, bufs: make([][]Pair, numReducers)}
 }
 
 // Send buffers one pair for reducer r, flushing that reducer's batch if it
@@ -32,7 +41,7 @@ func NewBatchWriter(tr Transport, numReducers, batchSize int) *BatchWriter {
 func (w *BatchWriter) Send(r int, p Pair) error {
 	if w.size <= 1 {
 		w.batches++
-		return w.tr.Send(r, p)
+		return w.tr.Send(w.ctx, r, p)
 	}
 	if w.bufs[r] == nil {
 		w.bufs[r] = make([]Pair, 0, w.size)
@@ -51,7 +60,7 @@ func (w *BatchWriter) flushReducer(r int) error {
 		return nil
 	}
 	w.batches++
-	return w.tr.SendBatch(r, ps)
+	return w.tr.SendBatch(w.ctx, r, ps)
 }
 
 // Flush ships every non-empty buffered batch. Call once at the end of the

@@ -69,7 +69,7 @@ func TestBatchedEqualsPerPair(t *testing.T) {
 			sendWG.Add(1)
 			go func() {
 				defer sendWG.Done()
-				bw := NewBatchWriter(tr, reducers, batchSize)
+				bw := NewBatchWriter(ctx, tr, reducers, batchSize)
 				for _, p := range pairStream(s) {
 					if err := bw.Send(route(p), p); err != nil {
 						t.Errorf("send: %v", err)
@@ -82,7 +82,7 @@ func TestBatchedEqualsPerPair(t *testing.T) {
 			}()
 		}
 		sendWG.Wait()
-		if err := tr.CloseSend(); err != nil {
+		if err := tr.CloseSend(ctx); err != nil {
 			t.Fatal(err)
 		}
 		recvWG.Wait()
@@ -125,16 +125,16 @@ func TestSendBatchEmptyIsNoOp(t *testing.T) {
 		}
 		done <- n
 	}()
-	if err := tr.SendBatch(0, nil); err != nil {
+	if err := tr.SendBatch(ctx, 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.SendBatch(0, []Pair{}); err != nil {
+	if err := tr.SendBatch(ctx, 0, []Pair{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.SendBatch(0, []Pair{PairS("a", []byte("b"))}); err != nil {
+	if err := tr.SendBatch(ctx, 0, []Pair{PairS("a", []byte("b"))}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.CloseSend(); err != nil {
+	if err := tr.CloseSend(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if n := <-done; n != 1 {
@@ -161,7 +161,7 @@ func TestBatchWriterCounts(t *testing.T) {
 			}
 		}()
 	}
-	bw := NewBatchWriter(tr, 2, 4)
+	bw := NewBatchWriter(ctx, tr, 2, 4)
 	for i := 0; i < 10; i++ { // reducer 0: 10 pairs -> 2 full + 1 partial
 		if err := bw.Send(0, Pair{Key: []byte("k"), Value: []byte{byte(i)}}); err != nil {
 			t.Fatal(err)
@@ -176,7 +176,7 @@ func TestBatchWriterCounts(t *testing.T) {
 	if got := bw.Batches(); got != 4 {
 		t.Errorf("Batches = %d, want 4 (2 full + 2 residual)", got)
 	}
-	if err := tr.CloseSend(); err != nil {
+	if err := tr.CloseSend(ctx); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()

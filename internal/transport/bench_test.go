@@ -47,7 +47,7 @@ func BenchmarkShuffleSubstrate(b *testing.B) {
 							mu.Unlock()
 						}()
 					}
-					bw := NewBatchWriter(tr, reducers, size)
+					bw := NewBatchWriter(ctx, tr, reducers, size)
 					for j, p := range pairs {
 						if err := bw.Send(j%reducers, p); err != nil {
 							b.Fatal(err)
@@ -56,7 +56,7 @@ func BenchmarkShuffleSubstrate(b *testing.B) {
 					if err := bw.Flush(); err != nil {
 						b.Fatal(err)
 					}
-					if err := tr.CloseSend(); err != nil {
+					if err := tr.CloseSend(ctx); err != nil {
 						b.Fatal(err)
 					}
 					wg.Wait()

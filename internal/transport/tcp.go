@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -186,11 +187,11 @@ func TCPFactory(buffer int) Factory {
 	return func(n int) (Transport, error) { return NewTCP(n, buffer) }
 }
 
-func (t *tcpTransport) Send(r int, p Pair) error {
-	return t.SendBatch(r, []Pair{p})
+func (t *tcpTransport) Send(ctx context.Context, r int, p Pair) error {
+	return t.SendBatch(ctx, r, []Pair{p})
 }
 
-func (t *tcpTransport) SendBatch(r int, ps []Pair) error {
+func (t *tcpTransport) SendBatch(ctx context.Context, r int, ps []Pair) error {
 	if len(ps) == 0 {
 		return nil
 	}
@@ -199,6 +200,13 @@ func (t *tcpTransport) SendBatch(r int, ps []Pair) error {
 	}
 	if r < 0 || r >= len(t.conns) {
 		return fmt.Errorf("transport: reducer %d out of range [0,%d)", r, len(t.conns))
+	}
+	// Cancellation: the check here catches senders between frames; a
+	// sender blocked inside the kernel write (TCP backpressure) is
+	// unblocked by Close, which closes every connection when the job is
+	// torn down.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	c := t.conns[r]
 	c.mu.Lock()
@@ -229,15 +237,20 @@ func (t *tcpTransport) SendBatch(r int, ps []Pair) error {
 	return nil
 }
 
-func (t *tcpTransport) CloseSend() error {
+func (t *tcpTransport) CloseSend(ctx context.Context) error {
 	if t.closed.Swap(true) {
 		return fmt.Errorf("transport: CloseSend called twice")
 	}
 	var first error
 	for _, c := range t.conns {
 		c.mu.Lock()
-		if err := c.bw.Flush(); err != nil && first == nil {
-			first = err
+		// Flushing buffered frames is delivery work — skip it when the
+		// job is cancelled; closing the connections is teardown and
+		// always runs (it is what terminates the receiver goroutines).
+		if ctx.Err() == nil {
+			if err := c.bw.Flush(); err != nil && first == nil {
+				first = err
+			}
 		}
 		if err := c.conn.Close(); err != nil && first == nil {
 			first = err

@@ -9,6 +9,13 @@
 // SendBatch concurrently, then the driver calls CloseSend exactly once;
 // each reducer drains its Receive channel until it is closed.
 //
+// Sends are context-aware: a sender blocked on reducer backpressure
+// unblocks with ctx.Err() as soon as its context is cancelled, so a
+// cancelled job's map tasks never deadlock against collectors that have
+// stopped consuming. CloseSend also takes the context, but performs its
+// channel-closing side even when the context is already cancelled —
+// teardown must always run so receivers terminate.
+//
 // Delivery is batch-framed end to end: the channel transport moves one
 // []Pair slice per channel operation and the TCP transport encodes one
 // binary frame per batch, so both the synchronization and the round-trip
@@ -28,6 +35,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -60,16 +68,20 @@ func (p Pair) Size() int64 { return int64(len(p.Key) + len(p.Value)) }
 type Transport interface {
 	// Send delivers a single pair to reducer r; equivalent to a one-pair
 	// SendBatch. Safe for concurrent use by many mapper goroutines. It
-	// fails after CloseSend.
-	Send(r int, p Pair) error
+	// fails after CloseSend, and returns ctx.Err() (without delivering)
+	// once ctx is cancelled.
+	Send(ctx context.Context, r int, p Pair) error
 	// SendBatch delivers a batch of pairs to reducer r in one framed
 	// operation. The transport takes ownership of ps (see the package
 	// comment). Empty batches are a no-op. Safe for concurrent use; it
-	// fails after CloseSend.
-	SendBatch(r int, ps []Pair) error
+	// fails after CloseSend. A sender blocked on backpressure unblocks
+	// with ctx.Err() when ctx is cancelled.
+	SendBatch(ctx context.Context, r int, ps []Pair) error
 	// CloseSend signals that no more pairs will be sent. Receive channels
-	// close once their in-flight batches are drained.
-	CloseSend() error
+	// close once their in-flight batches are drained. It always performs
+	// teardown (closing the receive side); a cancelled ctx only lets the
+	// implementation skip non-essential flushing of buffered data.
+	CloseSend(ctx context.Context) error
 	// Receive returns reducer r's input channel of batches. Each batch
 	// holds at least one pair.
 	Receive(r int) <-chan []Pair
@@ -114,11 +126,11 @@ func ChannelFactory(buffer int) Factory {
 	return func(n int) (Transport, error) { return NewChannel(n, buffer) }
 }
 
-func (t *channelTransport) Send(r int, p Pair) error {
-	return t.SendBatch(r, []Pair{p})
+func (t *channelTransport) Send(ctx context.Context, r int, p Pair) error {
+	return t.SendBatch(ctx, r, []Pair{p})
 }
 
-func (t *channelTransport) SendBatch(r int, ps []Pair) error {
+func (t *channelTransport) SendBatch(ctx context.Context, r int, ps []Pair) error {
 	if len(ps) == 0 {
 		return nil
 	}
@@ -128,20 +140,33 @@ func (t *channelTransport) SendBatch(r int, ps []Pair) error {
 	if r < 0 || r >= len(t.chans) {
 		return fmt.Errorf("transport: reducer %d out of range [0,%d)", r, len(t.chans))
 	}
+	// Cancellation check before committing the counters: a cancelled
+	// sender reports nothing delivered.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var bytes int64
 	for i := range ps {
 		bytes += ps[i].Size()
 	}
+	select {
+	case t.chans[r] <- ps:
+	case <-ctx.Done():
+		// Blocked on backpressure when the job died: unblock without
+		// delivering (the receiver may have stopped draining for good).
+		return ctx.Err()
+	}
 	t.bytes.Add(bytes)
 	t.batches.Add(1)
-	t.chans[r] <- ps
 	return nil
 }
 
-func (t *channelTransport) CloseSend() error {
+func (t *channelTransport) CloseSend(ctx context.Context) error {
 	if t.closed.Swap(true) {
 		return fmt.Errorf("transport: CloseSend called twice")
 	}
+	// Closing the channels is teardown, not delivery: it runs even when
+	// ctx is already cancelled, so receivers always terminate.
 	for _, c := range t.chans {
 		close(c)
 	}

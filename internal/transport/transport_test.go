@@ -1,12 +1,17 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 	"testing"
 )
+
+// ctx is the do-nothing context threaded through test sends; cancellation
+// behavior gets its own tests.
+var ctx = context.Background()
 
 // exercise sends pairs from several concurrent "mappers" and verifies each
 // reducer receives exactly the pairs addressed to it.
@@ -52,7 +57,7 @@ func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper i
 					r: rng.Intn(reducers),
 					p: PairS(fmt.Sprintf("k%d", rng.Intn(10)), []byte(fmt.Sprintf("m%d-i%d", m, i))),
 				}
-				if err := tr.Send(a.r, a.p); err != nil {
+				if err := tr.Send(ctx, a.r, a.p); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}
@@ -63,7 +68,7 @@ func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper i
 		}()
 	}
 	sendWG.Wait()
-	if err := tr.CloseSend(); err != nil {
+	if err := tr.CloseSend(ctx); err != nil {
 		t.Fatal(err)
 	}
 	recvWG.Wait()
@@ -120,16 +125,16 @@ func TestSendAfterCloseFails(t *testing.T) {
 				for range tr.Receive(1) {
 				}
 			}()
-			if err := tr.Send(0, PairS("a", []byte("b"))); err != nil {
+			if err := tr.Send(ctx, 0, PairS("a", []byte("b"))); err != nil {
 				t.Fatal(err)
 			}
-			if err := tr.CloseSend(); err != nil {
+			if err := tr.CloseSend(ctx); err != nil {
 				t.Fatal(err)
 			}
-			if err := tr.Send(0, PairS("a", nil)); err == nil {
+			if err := tr.Send(ctx, 0, PairS("a", nil)); err == nil {
 				t.Error("send after CloseSend succeeded")
 			}
-			if err := tr.CloseSend(); err == nil {
+			if err := tr.CloseSend(ctx); err == nil {
 				t.Error("double CloseSend succeeded")
 			}
 		})
@@ -141,10 +146,10 @@ func TestSendValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Send(-1, Pair{}); err == nil {
+	if err := tr.Send(ctx, -1, Pair{}); err == nil {
 		t.Error("negative reducer accepted")
 	}
-	if err := tr.Send(2, Pair{}); err == nil {
+	if err := tr.Send(ctx, 2, Pair{}); err == nil {
 		t.Error("out-of-range reducer accepted")
 	}
 	if _, err := NewChannel(0, 4); err == nil {
@@ -168,12 +173,12 @@ func TestChannelBytesSentExact(t *testing.T) {
 		for range tr.Receive(0) {
 		}
 	}()
-	tr.Send(0, PairS("ab", []byte("cd")))
-	tr.Send(0, PairS("x", nil))
+	tr.Send(ctx, 0, PairS("ab", []byte("cd")))
+	tr.Send(ctx, 0, PairS("x", nil))
 	if got := tr.BytesSent(); got != 5 {
 		t.Errorf("BytesSent = %d, want 5", got)
 	}
-	tr.CloseSend()
+	tr.CloseSend(ctx)
 }
 
 func TestTCPCloseBeforeCloseSend(t *testing.T) {
@@ -215,7 +220,7 @@ func TestTCPConcurrentSendersInterleave(t *testing.T) {
 			defer wg.Done()
 			payload := []byte(fmt.Sprintf("sender-%d", g))
 			for i := 0; i < 200; i++ {
-				if err := tr.Send(0, Pair{Key: []byte("k"), Value: payload}); err != nil {
+				if err := tr.Send(ctx, 0, Pair{Key: []byte("k"), Value: payload}); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}
@@ -223,7 +228,7 @@ func TestTCPConcurrentSendersInterleave(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if err := tr.CloseSend(); err != nil {
+	if err := tr.CloseSend(ctx); err != nil {
 		t.Fatal(err)
 	}
 	recvWG.Wait()
