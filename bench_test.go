@@ -315,3 +315,31 @@ func BenchmarkAblation_TransportChannelVsTCP(b *testing.B) {
 	b.ReportMetric(ch*1000, "channel_ms_real")
 	b.ReportMetric(tcp*1000, "tcp_ms_real")
 }
+
+func BenchmarkMorselSkew(b *testing.B) {
+	cfg := benchConfig(b)
+	var p *figures.MorselSkew
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = figures.MorselSkewPanel(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + p.Table().String())
+	// The PR's headline claim: on the zipf-hot clustered workload, morsel
+	// mode beats split-granular scheduling by >=25% simulated map makespan
+	// at 8 workers, and never loses at the other worker counts.
+	if imp := p.Improvement(2); imp < 0.25 {
+		b.Errorf("morsel improvement at 8 workers = %.0f%%, want >= 25%%", 100*imp)
+	}
+	for i, w := range p.Workers {
+		if p.MorselSeconds[i] > p.FixedSeconds[i] {
+			b.Errorf("morsel loses at %d workers: %.1fs vs %.1fs", w, p.MorselSeconds[i], p.FixedSeconds[i])
+		}
+	}
+	b.ReportMetric(p.FixedSeconds[2], "simsec_fixed_w8")
+	b.ReportMetric(p.MorselSeconds[2], "simsec_morsel_w8")
+	b.ReportMetric(100*p.Improvement(2), "improvement_pct_w8")
+	b.ReportMetric(float64(p.Steals[2]), "steals_w8")
+}

@@ -5,6 +5,7 @@
 //	casmbench -panel c        # one panel
 //	casmbench -scale 2.5      # larger datasets
 //	casmbench -json           # machine-readable snapshot on stdout
+//	casmbench -morselskew     # add the morsel vs fixed-split comparison
 //	casmbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Panels execute real engine runs; the reported numbers are simulated
@@ -41,6 +42,11 @@ type snapshot struct {
 	GOARCH      string                 `json:"goarch"`
 	GeneratedAt string                 `json:"generated_at"`
 	Panels      map[string]panelResult `json:"panels"`
+	// MorselSkew is the -morselskew comparison. It lives outside Panels
+	// on purpose: casmbenchdiff compares the union of the two snapshots'
+	// panel keys, and this section is a reproduction-extension study, not
+	// one of the paper's figures it guards.
+	MorselSkew *panelResult `json:"morsel_skew,omitempty"`
 }
 
 type panelResult struct {
@@ -56,6 +62,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale multiplier")
 		seed       = flag.Int64("seed", 1, "data generation seed")
 		asJSON     = flag.Bool("json", false, "emit a machine-readable JSON snapshot instead of tables")
+		morselSkew = flag.Bool("morselskew", false, "also run the morsel vs fixed-split skew comparison")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -129,6 +136,27 @@ func main() {
 	run("d", func(c figures.Config) (tabler, error) { return figures.Fig4d(ctx, c) })
 	run("e", func(c figures.Config) (tabler, error) { return figures.Fig4e(ctx, c) })
 	run("f", func(c figures.Config) (tabler, error) { return figures.Fig4f(ctx, c) })
+
+	if *morselSkew {
+		start := time.Now()
+		p, err := figures.MorselSkewPanel(ctx, cfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "casmbench: interrupted\n")
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "casmbench: morselskew: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Seconds()
+		t := p.Table()
+		if *asJSON {
+			snap.MorselSkew = &panelResult{Title: t.Title, RealSeconds: elapsed, Data: p}
+		} else {
+			fmt.Print(t.String())
+			fmt.Printf("(morselskew regenerated in %.1fs real time)\n\n", elapsed)
+		}
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -2,10 +2,18 @@
 // as a packed record file that casmrun can evaluate:
 //
 //	casmgen -n 1000000 -dist uniform -seed 1 -o data.casm
+//	casmgen -n 1000000 -zipf 2 -layout clustered -o skew.casm
 //
 // The file is a sequence of block-aligned varint-framed records over the
 // six-attribute evaluation schema (a1..a4 in [0,256) with a four-level
 // hierarchy; t1, t2 covering twenty days at second resolution).
+//
+// The skew knobs build the §V straggler scenarios: -zipf draws a1..a4
+// zipf-distributed (exponent > 1; larger = more skew), and -layout
+// controls how the skew maps onto splits — shuffled interleaves hot keys
+// across all blocks, clustered sorts records so each hot key forms a
+// contiguous run, adversarial additionally parks the hottest runs at the
+// end of the file.
 package main
 
 import (
@@ -21,6 +29,8 @@ func main() {
 	var (
 		n         = flag.Int("n", 100_000, "number of records")
 		dist      = flag.String("dist", "uniform", "data distribution: uniform | skewed")
+		zipf      = flag.Float64("zipf", 0, "zipf exponent for a1..a4 (> 1; 0 = uniform)")
+		layout    = flag.String("layout", "shuffled", "record layout: shuffled | clustered | adversarial")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		out       = flag.String("o", "data.casm", "output file")
 		blockSize = flag.Int("block", 4<<20, "block size in bytes (records never straddle blocks)")
@@ -37,9 +47,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "casmgen: unknown distribution %q (want uniform or skewed)\n", *dist)
 		os.Exit(2)
 	}
+	lay, err := workload.ParseLayout(*layout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
+		os.Exit(2)
+	}
 
 	su := workload.NewSuite()
-	records := su.Generate(*n, d, *seed)
+	records, err := su.GenerateOpts(workload.GenOpts{
+		N: *n, Dist: d, Seed: *seed, Zipf: *zipf, Layout: lay,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
+		os.Exit(2)
+	}
 	data, err := recio.PackAligned(records, *blockSize)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
@@ -49,6 +70,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %d records (%d bytes, %s distribution, seed %d) to %s\n",
-		*n, len(data), d, *seed, *out)
+	fmt.Printf("wrote %d records (%d bytes, %s distribution, zipf %g, %s layout, seed %d) to %s\n",
+		*n, len(data), d, *zipf, lay, *seed, *out)
 }

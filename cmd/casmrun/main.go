@@ -24,6 +24,7 @@ import (
 
 	casm "github.com/casm-project/casm"
 	"github.com/casm-project/casm/internal/core"
+	"github.com/casm-project/casm/internal/mr"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/workload"
 )
@@ -62,6 +63,9 @@ func run() error {
 		savePath = flag.String("save", "", "write result records to this file (block-aligned frames)")
 		tmpDir   = flag.String("tmp", "", "directory for reducer spill files (default OS temp)")
 		sortMem  = flag.Int("sortmem", 0, "reducer in-memory grouping budget in items, 0 = default (set small to force spills)")
+		morsel   = flag.Bool("morsel", false, "morsel-driven map execution (work-stealing workers over carved splits)")
+		morselB  = flag.Int("morselbytes", 0, "morsel size in bytes (implies -morsel; 0 with -morsel = default size)")
+		localAgg = flag.Int("localagg", 0, "morsel workers' thread-local pre-aggregation budget in distinct states (0 = default)")
 	)
 	flag.Parse()
 
@@ -103,6 +107,12 @@ func run() error {
 		MinBlocksPerReducer: *minBlk,
 		TempDir:             *tmpDir,
 		SortMemoryItems:     *sortMem,
+		LocalAggBudget:      *localAgg,
+	}
+	if *morselB > 0 {
+		cfg.MorselBytes = *morselB
+	} else if *morsel {
+		cfg.MorselBytes = mr.DefaultMorselBytes
 	}
 	if *chain {
 		cfg.LocalScan = casm.ChainScan

@@ -137,6 +137,8 @@ func (e *Engine) runRowsJob(ctx context.Context, input mr.Input, mapFn mr.MapFun
 			MapParallelism:    e.cfg.MapParallelism,
 			ReduceParallelism: e.cfg.ReduceParallelism,
 			Transport:         e.cfg.Transport,
+			MorselBytes:       e.cfg.MorselBytes,
+			LocalAggBudget:    e.cfg.LocalAggBudget,
 			SortMemoryItems:   e.cfg.SortMemoryItems,
 			TempDir:           e.cfg.TempDir,
 		},

@@ -127,6 +127,17 @@ type Config struct {
 	ForceCF  int64
 	// SortMemoryItems bounds the reducer's in-memory sort (default 1<<20).
 	SortMemoryItems int
+	// MorselBytes, when > 0, switches the map phase to morsel-driven
+	// execution: splits are carved into ~MorselBytes runs of records and
+	// a fixed worker pool self-schedules over them with work-stealing
+	// (mr.DefaultMorselBytes is the recommended size). 0 keeps the
+	// fixed-split map phase.
+	MorselBytes int
+	// LocalAggBudget caps each morsel worker's thread-local
+	// pre-aggregation table (distinct partial states before a sorted-key
+	// spill into the shuffle). 0 defaults to the engine's combine buffer
+	// size; ignored in fixed-split mode.
+	LocalAggBudget int
 	// TempDir hosts spill files.
 	TempDir string
 	// Cluster parameterizes the simulated-time estimate (zero value =

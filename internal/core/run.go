@@ -374,6 +374,8 @@ func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, d
 			NewCombiner:       combinerFactory,
 			ShuffleDisabled:   e.cfg.Stage == StageMapOnly,
 			GroupMode:         groupMode,
+			MorselBytes:       e.cfg.MorselBytes,
+			LocalAggBudget:    e.cfg.LocalAggBudget,
 			SortMemoryItems:   e.cfg.SortMemoryItems,
 			TempDir:           e.cfg.TempDir,
 			NewMapLocal:       newMapLocal,
@@ -466,6 +468,11 @@ func EstimateFromStats(c costmodel.Cluster, js mr.JobStats) costmodel.Estimate {
 			PairsOut:     t.PairsOut,
 			BytesOut:     t.BytesOut,
 			CombineItems: t.CombineInputs,
+
+			MorselsDispatched: t.MorselsDispatched,
+			MorselSteals:      t.MorselSteals,
+			LocalAggHits:      t.LocalAggHits,
+			LocalAggSpills:    t.LocalAggSpills,
 		}
 	}
 	rw := make([]costmodel.ReduceWork, len(js.ReduceTasks))

@@ -84,6 +84,17 @@ type MapWork struct {
 	PairsOut     int64 // key/value pairs emitted (after combining)
 	BytesOut     int64 // bytes handed to the shuffle
 	CombineItems int64 // records passed through the combiner (0 = off)
+
+	// Observability-only counters, priced at zero (the ReduceWork
+	// pattern): morsel dispatch and local-table traffic are bookkeeping
+	// inside work already covered by Records and CombineItems, so
+	// simulated seconds stay a pure function of the priced fields above —
+	// and, in particular, identical between fixed-split and morsel mode
+	// for the same per-task record totals.
+	MorselsDispatched int64 // morsels pulled off the stealing deques
+	MorselSteals      int64 // of those, taken from another worker's deque
+	LocalAggHits      int64 // pairs absorbed by an existing thread-local partial state
+	LocalAggSpills    int64 // thread-local table overflow flushes
 }
 
 // ReduceWork counts what one reduce task did. Zero-valued stages are

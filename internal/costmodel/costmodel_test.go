@@ -152,3 +152,19 @@ func TestJobTime(t *testing.T) {
 		t.Errorf("JobTime = %v, want 3 (two 1s map tasks on 2 slots, then 2s reduce)", got)
 	}
 }
+
+// TestMorselCountersZeroPriced pins the observability contract: the
+// morsel-mode counters never change a task's simulated duration, so
+// simulated seconds stay a pure function of the priced work fields.
+func TestMorselCountersZeroPriced(t *testing.T) {
+	m := DefaultMachine()
+	w := MapWork{BytesRead: 8 << 20, Records: 100000, PairsOut: 5000, BytesOut: 1 << 20, CombineItems: 100000}
+	loud := w
+	loud.MorselsDispatched = 1 << 40
+	loud.MorselSteals = 1 << 40
+	loud.LocalAggHits = 1 << 40
+	loud.LocalAggSpills = 1 << 40
+	if got, want := m.MapTime(loud), m.MapTime(w); got != want {
+		t.Errorf("morsel counters priced: MapTime %v != %v", got, want)
+	}
+}

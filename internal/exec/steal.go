@@ -1,0 +1,80 @@
+package exec
+
+import "sync"
+
+// StealDeques is the stealable task shape of morsel-driven execution
+// (Leis et al., SIGMOD '14): a fixed set of per-worker deques over which
+// a pool of workers self-schedules small work items. Each worker drains
+// its own deque front to back — preserving the enqueue order of its
+// items, which for morsels means sequential scans over contiguous input —
+// and, once empty, steals from the back of the fullest other deque, so a
+// backlog parked behind a straggling worker is finished by whoever has
+// headroom instead of riding out the straggler.
+//
+// All items are expected to be pushed before the workers start pulling
+// (the dispatch set is known up front); an empty pull therefore means the
+// work is exhausted, not that more may arrive. A single mutex guards the
+// deques — items are sized (tens of KiB of records each) so the lock is
+// taken far too rarely to contend.
+type StealDeques[T any] struct {
+	mu     sync.Mutex
+	deques [][]T
+}
+
+// NewStealDeques returns a deque set for the given number of workers
+// (minimum 1).
+func NewStealDeques[T any](workers int) *StealDeques[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	return &StealDeques[T]{deques: make([][]T, workers)}
+}
+
+// Workers reports the number of deques.
+func (s *StealDeques[T]) Workers() int { return len(s.deques) }
+
+// Push appends an item to owner's deque. Owners out of range wrap around,
+// so callers may deal by any index (split number, hash) without bounds
+// bookkeeping.
+func (s *StealDeques[T]) Push(owner int, item T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := owner % len(s.deques)
+	if o < 0 {
+		o += len(s.deques)
+	}
+	s.deques[o] = append(s.deques[o], item)
+}
+
+// Next returns the next item for worker w: the front of w's own deque
+// when non-empty, otherwise the back of the fullest other deque (stolen
+// reports which). ok=false means every deque is empty — with all items
+// pushed up front, that is global exhaustion.
+func (s *StealDeques[T]) Next(w int) (item T, stolen, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.deques[w]; len(q) > 0 {
+		item = q[0]
+		var zero T
+		q[0] = zero // release the item for GC; the deque array is long-lived
+		s.deques[w] = q[1:]
+		return item, false, true
+	}
+	// Steal from the victim with the most remaining items: the longest
+	// backlog is both the fairest target and the likeliest straggler.
+	victim, most := -1, 0
+	for i, q := range s.deques {
+		if i != w && len(q) > most {
+			victim, most = i, len(q)
+		}
+	}
+	if victim < 0 {
+		return item, false, false
+	}
+	q := s.deques[victim]
+	item = q[len(q)-1]
+	var zero T
+	q[len(q)-1] = zero
+	s.deques[victim] = q[:len(q)-1]
+	return item, true, true
+}

@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStealDequesOwnOrderThenSteal(t *testing.T) {
+	s := NewStealDeques[int](2)
+	// Worker 0 gets 1,2,3; worker 1 gets nothing.
+	for _, v := range []int{1, 2, 3} {
+		s.Push(0, v)
+	}
+	// Owner drains front-to-back.
+	if v, stolen, ok := s.Next(0); !ok || stolen || v != 1 {
+		t.Fatalf("Next(0) = %d, %v, %v", v, stolen, ok)
+	}
+	// The idle worker steals from the back.
+	if v, stolen, ok := s.Next(1); !ok || !stolen || v != 3 {
+		t.Fatalf("Next(1) = %d, %v, %v", v, stolen, ok)
+	}
+	if v, stolen, ok := s.Next(0); !ok || stolen || v != 2 {
+		t.Fatalf("Next(0) = %d, %v, %v", v, stolen, ok)
+	}
+	if _, _, ok := s.Next(0); ok {
+		t.Fatal("deques not exhausted after 3 pulls")
+	}
+	if _, _, ok := s.Next(1); ok {
+		t.Fatal("deques not exhausted after 3 pulls")
+	}
+}
+
+func TestStealDequesStealsFromFullest(t *testing.T) {
+	s := NewStealDeques[int](3)
+	s.Push(0, 10)
+	for v := 0; v < 5; v++ {
+		s.Push(1, 100+v)
+	}
+	// Worker 2 is empty; the fullest victim is worker 1, back item first.
+	if v, stolen, ok := s.Next(2); !ok || !stolen || v != 104 {
+		t.Fatalf("Next(2) = %d, %v, %v; want steal of 104", v, stolen, ok)
+	}
+}
+
+func TestStealDequesOwnerWraps(t *testing.T) {
+	s := NewStealDeques[string](2)
+	s.Push(5, "a")  // 5 % 2 = 1
+	s.Push(-1, "b") // wraps to 1
+	if v, stolen, ok := s.Next(1); !ok || stolen || v != "a" {
+		t.Fatalf("Next(1) = %q, %v, %v", v, stolen, ok)
+	}
+	if v, stolen, ok := s.Next(1); !ok || stolen || v != "b" {
+		t.Fatalf("Next(1) = %q, %v, %v", v, stolen, ok)
+	}
+}
+
+// TestStealDequesConcurrentExhaustion hammers the deques from many
+// goroutines and checks every item is pulled exactly once (run with
+// -race for the locking claim).
+func TestStealDequesConcurrentExhaustion(t *testing.T) {
+	const workers, items = 8, 10000
+	s := NewStealDeques[int](workers)
+	for i := 0; i < items; i++ {
+		s.Push(i%3, i) // lopsided deal: only 3 of 8 deques get items
+	}
+	var mu sync.Mutex
+	seen := make([]bool, items)
+	var anySteal bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, stolen, ok := s.Next(w)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("item %d pulled twice", v)
+				}
+				seen[v] = true
+				if stolen {
+					anySteal = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("item %d never pulled", i)
+		}
+	}
+	if !anySteal {
+		t.Error("no steals despite 5 empty deques")
+	}
+}

@@ -80,6 +80,10 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.CombineInputs *= rep
 		t.CombineMerges *= rep
 		t.KeyCacheHits *= rep
+		t.MorselsDispatched *= rep
+		t.MorselSteals *= rep
+		t.LocalAggHits *= rep
+		t.LocalAggSpills *= rep
 		out.MapTasks = append(out.MapTasks, t)
 	}
 	for _, t := range js.ReduceTasks {

@@ -1,0 +1,41 @@
+package figures
+
+import (
+	"context"
+	"testing"
+)
+
+func TestMorselSkewPanel(t *testing.T) {
+	cfg := Config{Scale: 0.05, TempDir: t.TempDir(), Seed: 1}
+	p, err := MorselSkewPanel(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(p.Workers), 3; got != want {
+		t.Fatalf("workers = %v", p.Workers)
+	}
+	for _, s := range [][]float64{p.FixedSeconds, p.MorselSeconds, p.FixedWall, p.MorselWall} {
+		if len(s) != len(p.Workers) {
+			t.Fatalf("ragged series: %v", p)
+		}
+	}
+	if p.Splits < morselSkewSplits-2 || p.Splits > morselSkewSplits+2 {
+		t.Errorf("splits = %d, want ~%d", p.Splits, morselSkewSplits)
+	}
+	// The headline claim: at 8 workers morsel-driven execution beats
+	// split-granular scheduling by >=25% simulated map makespan, because
+	// ~10 whole-block tasks quantize badly onto 8 slots while morsels
+	// smooth the same records across all of them.
+	if imp := p.Improvement(2); imp < 0.25 {
+		t.Errorf("improvement at 8 workers = %.0f%%, want >= 25%%\nfixed=%v morsel=%v",
+			100*imp, p.FixedSeconds, p.MorselSeconds)
+	}
+	// With real multi-worker pools and one hot clustered block, stealing
+	// must actually occur at 8 workers.
+	if p.Steals[2] == 0 {
+		t.Errorf("no steals at 8 workers: %v", p.Steals)
+	}
+	if tb := p.Table(); len(tb.Rows) != len(p.Workers) {
+		t.Errorf("table rows = %d", len(tb.Rows))
+	}
+}

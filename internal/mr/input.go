@@ -70,6 +70,37 @@ func (it *memoryIter) Next() ([]byte, bool, error) {
 	return r, true, nil
 }
 
+// Morsels carves the split's records into contiguous runs of whole
+// records, each targeting targetBytes (the tail may be smaller). Runs
+// alias the parent's record slices.
+func (sp *memorySplit) Morsels(targetBytes int) ([]Split, error) {
+	if targetBytes < 1 {
+		targetBytes = 1
+	}
+	var out []Split
+	start := 0
+	var runBytes int64
+	for i, r := range sp.records {
+		runBytes += int64(len(r))
+		if runBytes >= int64(targetBytes) {
+			out = append(out, &memorySplit{
+				label:   fmt.Sprintf("%s/m%d", sp.label, len(out)),
+				records: sp.records[start : i+1],
+				bytes:   runBytes,
+			})
+			start, runBytes = i+1, 0
+		}
+	}
+	if start < len(sp.records) {
+		out = append(out, &memorySplit{
+			label:   fmt.Sprintf("%s/m%d", sp.label, len(out)),
+			records: sp.records[start:],
+			bytes:   runBytes,
+		})
+	}
+	return out, nil
+}
+
 // --- DFS input: one split per DFS block, frames decoded by recio ---
 
 type dfsInput struct {
@@ -117,3 +148,38 @@ func (sp *dfsSplit) Open() (RecordIter, error) {
 }
 
 func (it *dfsIter) Next() ([]byte, bool, error) { return it.fr.Next() }
+
+// Morsels carves the block into frame runs of ~targetBytes. The block is
+// read once here — dfs blocks are shared in-memory backing, so the runs
+// alias it without copying — which means replica availability is checked
+// at carve time rather than when a worker opens the morsel; a job in
+// morsel mode fails at planning if the block is unreadable, instead of in
+// a map task.
+func (sp *dfsSplit) Morsels(targetBytes int) ([]Split, error) {
+	data, err := sp.fs.ReadBlock(sp.info.File, sp.info.Index)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := recio.SplitFrameRuns(data, targetBytes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Split, len(runs))
+	for i, run := range runs {
+		out[i] = &frameRunSplit{label: fmt.Sprintf("%s/m%d", sp.Label(), i), data: run}
+	}
+	return out, nil
+}
+
+// frameRunSplit is one morsel of a dfs block: a contiguous run of whole
+// frames aliasing the block's backing bytes.
+type frameRunSplit struct {
+	label string
+	data  []byte
+}
+
+func (sp *frameRunSplit) Label() string    { return sp.label }
+func (sp *frameRunSplit) SizeBytes() int64 { return int64(len(sp.data)) }
+func (sp *frameRunSplit) Open() (RecordIter, error) {
+	return &dfsIter{fr: recio.NewFrameReader(sp.data)}, nil
+}

@@ -1,0 +1,215 @@
+package mr
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/casm-project/casm/internal/exec"
+	"github.com/casm-project/casm/internal/transport"
+)
+
+// Morsel-driven map execution (Config.MorselBytes > 0), after Leis et
+// al., "Morsel-Driven Parallelism" (SIGMOD '14): instead of pinning one
+// goroutine to each input split, every split is carved into small
+// contiguous record runs (morsels) that a fixed set of workers
+// self-schedules over work-stealing deques. The unit of load balancing
+// shrinks from a whole split to ~MorselBytes of records, so a split that
+// turns out hot — clustered data, a zipf-dense block, an expensive
+// record mix — is finished cooperatively by the whole pool instead of
+// riding out one straggling task while its siblings idle.
+//
+// Aggregation keeps the two-phase shape of the same paper: each worker
+// folds emitted pairs into its thread-local combiner table (phase 1,
+// bounded by LocalAggBudget distinct states) and on overflow or
+// exhaustion flushes the partials — in deterministic ascending key order
+// — into the shuffle toward the reducers' global grouping collectors
+// (phase 2, the hash-grouped internal/groupx path). Worker-local flush
+// order is deterministic, and the reduce side is insensitive to the
+// cross-worker interleaving (the same property concurrent fixed-split
+// senders already rely on), so morsel output is byte-identical to
+// fixed-split output; the engine property tests pin that equivalence.
+
+// DefaultMorselBytes is the morsel size the engine uses when morsel mode
+// is enabled without an explicit size: 32KiB of records is a few
+// thousand records — small enough that a straggling split is carved into
+// hundreds of stealable pieces, large enough that deque traffic is
+// amortized over ~10^3 records of map work.
+const DefaultMorselBytes = 32 << 10
+
+// morselItem is one unit of stealable map work.
+type morselItem struct {
+	sp Split
+}
+
+// carveMorsels flattens the splits into a morsel list, carving splits
+// that support it and passing the rest through whole. The returned
+// owner[i] is the index of morsel i's originating split, used to deal
+// morsels onto deques so each worker starts with a contiguous share.
+func carveMorsels(splits []Split, targetBytes int) (items []morselItem, owners []int, err error) {
+	for si, sp := range splits {
+		ms, ok := sp.(MorselSplit)
+		if !ok {
+			items = append(items, morselItem{sp: sp})
+			owners = append(owners, si)
+			continue
+		}
+		subs, err := ms.Morsels(targetBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mr: carve %s: %w", sp.Label(), err)
+		}
+		for _, sub := range subs {
+			items = append(items, morselItem{sp: sub})
+			owners = append(owners, si)
+		}
+	}
+	return items, owners, nil
+}
+
+// morselDispatcher deals carved morsels onto per-worker stealing deques.
+type morselDispatcher struct {
+	deques *exec.StealDeques[morselItem]
+}
+
+// newMorselDispatcher deals each split's morsels onto the deque of the
+// split's worker (split index modulo workers): every worker starts on
+// contiguous runs of whole splits — the sequential-scan locality of the
+// fixed-split mode — and stealing only rearranges work once some deque
+// runs dry.
+func newMorselDispatcher(workers int, items []morselItem, owners []int) *morselDispatcher {
+	d := &morselDispatcher{deques: exec.NewStealDeques[morselItem](workers)}
+	for i, it := range items {
+		d.deques.Push(owners[i], it)
+	}
+	return d
+}
+
+// runMorselWorker is one worker's life: build the thread-local pipeline
+// (batch writer, combiner, user Local state), then pull morsels — own
+// deque first, stealing when dry — until global exhaustion, and flush.
+// It mirrors mapOnce except that the pipeline outlives any single
+// split's worth of records.
+func runMorselWorker(ctx context.Context, w int, d *morselDispatcher, mapFn MapFunc, st *TaskStats, cfg Config, tr transport.Transport) error {
+	var bw *transport.BatchWriter
+	if !cfg.ShuffleDisabled {
+		bw = transport.NewBatchWriter(ctx, tr, cfg.NumReducers, cfg.ShuffleBatchPairs)
+	}
+	send := func(key, value []byte) error {
+		st.PairsOut++
+		st.BytesOut += int64(len(key) + len(value))
+		if bw == nil {
+			return nil
+		}
+		return bw.Send(cfg.Partition(cfg.GroupBy(key), cfg.NumReducers), transport.Pair{Key: key, Value: value})
+	}
+
+	var comb Combiner
+	emit := send
+	switch {
+	case cfg.NewCombiner != nil:
+		comb = cfg.NewCombiner(st)
+	case cfg.Combine != nil:
+		comb = newFuncCombiner(cfg.Combine, st)
+	}
+	if comb != nil {
+		emit = func(key, value []byte) error {
+			st.CombineInputs++
+			before := comb.Len()
+			if err := comb.Add(key, value); err != nil {
+				return err
+			}
+			if comb.Len() == before {
+				// Fully absorbed into existing thread-local state — the
+				// pre-aggregation "hit" the local table exists to produce.
+				st.LocalAggHits++
+			}
+			if comb.Len() >= cfg.LocalAggBudget {
+				// Phase-1 overflow: spill the local table into the global
+				// collectors via the shuffle, sorted-key order (Flush's
+				// determinism contract).
+				st.LocalAggSpills++
+				return comb.Flush(send)
+			}
+			return nil
+		}
+	}
+	mctx := &MapCtx{Stats: st, emit: emit}
+	if cfg.NewMapLocal != nil {
+		mctx.Local = cfg.NewMapLocal(st)
+	}
+
+	done := ctx.Done()
+	for {
+		item, stolen, ok := d.deques.Next(w)
+		if !ok {
+			break
+		}
+		st.MorselsDispatched++
+		if stolen {
+			st.MorselSteals++
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		it, err := item.sp.Open()
+		if err != nil {
+			return err
+		}
+		st.BytesRead += item.sp.SizeBytes()
+		for {
+			rec, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			st.Records++
+			if st.Records&(cancelCheckStride-1) == 0 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+			if err := mapFn(mctx, rec); err != nil {
+				return err
+			}
+		}
+	}
+	if comb != nil {
+		if err := comb.Flush(send); err != nil {
+			return err
+		}
+	}
+	if bw != nil {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		st.BatchesSent += bw.Batches()
+	}
+	return nil
+}
+
+// runMorselWorkerTask wraps runMorselWorker with the same start-of-task
+// retry contract as runMapTask: the failure injector fires before the
+// worker pulls any morsel (so retries cannot re-emit), and cancellation
+// is never retried.
+func runMorselWorkerTask(ctx context.Context, w int, d *morselDispatcher, mapFn MapFunc, st *TaskStats, cfg Config, tr transport.Transport) error {
+	var lastErr error
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		st.Attempts = attempt
+		if cfg.FailureInjector != nil {
+			if err := cfg.FailureInjector(st.Task, attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		return runMorselWorker(ctx, w, d, mapFn, st, cfg, tr)
+	}
+	return fmt.Errorf("giving up after %d attempts: %w", cfg.MaxAttempts, lastErr)
+}

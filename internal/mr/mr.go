@@ -62,6 +62,13 @@ type TaskStats struct {
 	CombineMerges int64 // pairs merged in place into an existing partial state
 	KeyCacheHits  int64 // shuffle keys served by the task's intern cache instead of a fresh allocation
 
+	// Morsel-mode counters (zero in fixed-split mode). A map "task" is
+	// then one morsel worker, not one split; see Config.MorselBytes.
+	MorselsDispatched int64 // morsels this worker pulled and processed
+	MorselSteals      int64 // of those, morsels stolen from another worker's deque
+	LocalAggHits      int64 // emitted pairs fully absorbed by an existing thread-local partial state
+	LocalAggSpills    int64 // thread-local table overflows flushed into the shuffle before morsel exhaustion
+
 	// Reduce side.
 	PairsIn         int64
 	BytesIn         int64
@@ -114,6 +121,24 @@ type Split interface {
 // Input enumerates a job's splits.
 type Input interface {
 	Splits() ([]Split, error)
+}
+
+// MorselSplit is implemented by splits that can be carved into small
+// independently openable sub-ranges ("morsels") for morsel-driven map
+// execution (Config.MorselBytes). Morsels partition the split's records:
+// concatenating the morsels' record streams in order yields exactly the
+// split's stream. Each morsel is itself a Split (its SizeBytes feeds
+// work-stealing accounting, its Label debugging); morsels may alias the
+// parent split's storage, which must stay valid while any morsel is in
+// use. Splits that do not implement the interface run as one indivisible
+// morsel — morsel mode degrades to fixed-split granularity for them
+// instead of failing.
+type MorselSplit interface {
+	Split
+	// Morsels carves the split into runs of whole records, each targeting
+	// targetBytes of record data (the tail may be smaller; one oversized
+	// record still forms a morsel).
+	Morsels(targetBytes int) ([]Split, error)
 }
 
 // MapCtx is passed to the map function.
@@ -288,6 +313,26 @@ type Config struct {
 	// partial states are buffered (default 65536). With streaming merge
 	// this bounds distinct keys held, not raw pairs.
 	CombineBufferPairs int
+	// MorselBytes, when > 0, switches the map phase from one task per
+	// split to morsel-driven execution: every split that supports it (see
+	// MorselSplit) is carved into contiguous ~MorselBytes runs of records,
+	// dealt round-robin onto per-worker deques, and processed by
+	// MapParallelism workers that steal from each other's deques once
+	// their own drain — so a hot split is finished by many workers instead
+	// of riding out one straggler. Each worker owns one thread-local
+	// pipeline (combiner table, Local state, batch writer), and map-task
+	// counters are per worker rather than per split. FailureInjector fires
+	// once per worker before it pulls any morsel (retried up to
+	// MaxAttempts, like a fixed-split task start); mid-stream errors are
+	// never retried in either mode. 0 keeps the fixed-split map phase.
+	MorselBytes int
+	// LocalAggBudget caps the distinct partial states a morsel worker's
+	// thread-local pre-aggregation table holds before it is spilled —
+	// flushed, in deterministic sorted-key order, into the shuffle toward
+	// the global grouping collectors (the Leis et al. two-phase shape:
+	// local hash table, overflow to global partitions). Default
+	// CombineBufferPairs; ignored in fixed-split mode.
+	LocalAggBudget int
 	// ShuffleDisabled runs the map phase only (the Figure 4(d) "Map-Only"
 	// stage): pairs are counted but not sent, and no reduce phase runs.
 	ShuffleDisabled bool
@@ -345,6 +390,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CombineBufferPairs < 1 {
 		c.CombineBufferPairs = 1 << 16
+	}
+	if c.LocalAggBudget < 1 {
+		c.LocalAggBudget = c.CombineBufferPairs
 	}
 	if c.SortMemoryItems < 1 {
 		c.SortMemoryItems = 1 << 20

@@ -49,6 +49,17 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mr: splits: %w", err)
 	}
+	// Morsel mode carves splits before any task starts: the dispatch set
+	// must be complete up front (StealDeques treats empty as exhausted),
+	// and carve errors should fail the job at planning, not mid-pipeline.
+	var morselItems []morselItem
+	var morselOwners []int
+	if cfg.MorselBytes > 0 {
+		morselItems, morselOwners, err = carveMorsels(splits, cfg.MorselBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
 	start := time.Now()
 
 	// jobCtx governs every task of this job; cancelJob is the teardown
@@ -102,15 +113,39 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 		}
 	}
 
-	// Map phase: pooled tasks, bounded per job by MapParallelism.
-	mapStats := make([]TaskStats, len(splits))
+	// Map phase: pooled tasks, bounded per job by MapParallelism. In
+	// fixed-split mode each split is one task; in morsel mode the tasks
+	// are long-lived workers self-scheduling over the carved morsels via
+	// work-stealing deques (see morsel.go), so a map "task" in the stats
+	// is then one worker's whole tour of the input.
+	var mapStats []TaskStats
 	mapGroup := ex.NewGroup(jobCtx, exec.Options{Limit: cfg.MapParallelism, OnError: cancelJob})
-	for i, sp := range splits {
-		i, sp := i, sp
-		mapStats[i].Task = sp.Label()
-		mapGroup.Go("mr: map task "+sp.Label(), &mapStats[i].Timing, func(tctx context.Context) error {
-			return runMapTask(tctx, job.Map, sp, &mapStats[i], cfg, tr)
-		})
+	if cfg.MorselBytes > 0 {
+		workers := cfg.MapParallelism
+		if workers > len(morselItems) {
+			workers = len(morselItems)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		d := newMorselDispatcher(workers, morselItems, morselOwners)
+		mapStats = make([]TaskStats, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			mapStats[w].Task = fmt.Sprintf("map-worker-%d", w)
+			mapGroup.Go(fmt.Sprintf("mr: map worker %d", w), &mapStats[w].Timing, func(tctx context.Context) error {
+				return runMorselWorkerTask(tctx, w, d, job.Map, &mapStats[w], cfg, tr)
+			})
+		}
+	} else {
+		mapStats = make([]TaskStats, len(splits))
+		for i, sp := range splits {
+			i, sp := i, sp
+			mapStats[i].Task = sp.Label()
+			mapGroup.Go("mr: map task "+sp.Label(), &mapStats[i].Timing, func(tctx context.Context) error {
+				return runMapTask(tctx, job.Map, sp, &mapStats[i], cfg, tr)
+			})
+		}
 	}
 
 	var jobErrs exec.ErrorCollector

@@ -119,6 +119,43 @@ func DecodeRecordAppend(data []byte, arity int, arena []int64) ([]int64, error) 
 	return arena, nil
 }
 
+// SplitFrameRuns carves one block's framed bytes into contiguous runs of
+// whole frames, each run targeting targetBytes (the last run may be
+// smaller; a single frame larger than the target gets a run of its own).
+// The returned slices alias data, so each run is independently readable
+// with a FrameReader as long as the block stays alive — this is what
+// carves a map split into morsels. Padding terminates the scan exactly
+// like FrameReader does.
+func SplitFrameRuns(data []byte, targetBytes int) ([][]byte, error) {
+	if targetBytes < 1 {
+		targetBytes = 1
+	}
+	var runs [][]byte
+	runStart, off := 0, 0
+	for off < len(data) {
+		n, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("recio: corrupt frame header at offset %d", off)
+		}
+		if n == 0 {
+			break // padding terminator
+		}
+		end := off + k + int(n)
+		if end > len(data) {
+			return nil, fmt.Errorf("recio: frame of %d bytes exceeds block at offset %d", n, off)
+		}
+		off = end
+		if off-runStart >= targetBytes {
+			runs = append(runs, data[runStart:off:off])
+			runStart = off
+		}
+	}
+	if off > runStart {
+		runs = append(runs, data[runStart:off:off])
+	}
+	return runs, nil
+}
+
 // PackAligned frames the records into a byte stream where no frame
 // straddles a blockSize boundary: when a record would not fit in the
 // current block, the block is padded (with a zero terminator and zero

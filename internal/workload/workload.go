@@ -9,6 +9,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/dfs"
@@ -69,19 +70,136 @@ func (d Distribution) String() string {
 // Generate produces n records under the distribution, deterministically
 // per seed.
 func (s *Suite) Generate(n int, dist Distribution, seed int64) []cube.Record {
-	rng := rand.New(rand.NewSource(seed))
+	out, err := s.GenerateOpts(GenOpts{N: n, Dist: dist, Seed: seed})
+	if err != nil {
+		panic(err) // unreachable: the zero GenOpts knobs are always valid
+	}
+	return out
+}
+
+// Layout arranges generated records within the file, controlling how
+// value skew maps onto input splits.
+type Layout int
+
+const (
+	// LayoutShuffled keeps generation order: skewed values interleave
+	// uniformly, so every split carries a fair share of the hot keys.
+	LayoutShuffled Layout = iota
+	// LayoutClustered sorts records by value, so each hot key's records
+	// form one contiguous run — the clustered blocks of the paper's §V
+	// skew experiments, where whole splits land on a single hot key.
+	LayoutClustered
+	// LayoutAdversarial clusters like LayoutClustered but orders the
+	// clusters by ascending a1-frequency, parking the hottest (largest)
+	// runs at the end of the file: the final splits are the densest, the
+	// worst case for any scheduler that assigns splits in file order.
+	LayoutAdversarial
+)
+
+// String names the layout (the casmgen flag values).
+func (l Layout) String() string {
+	switch l {
+	case LayoutClustered:
+		return "clustered"
+	case LayoutAdversarial:
+		return "adversarial"
+	default:
+		return "shuffled"
+	}
+}
+
+// ParseLayout parses a layout name as accepted by casmgen -layout.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "shuffled", "":
+		return LayoutShuffled, nil
+	case "clustered":
+		return LayoutClustered, nil
+	case "adversarial":
+		return LayoutAdversarial, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown layout %q (want shuffled, clustered, or adversarial)", s)
+	}
+}
+
+// GenOpts parameterizes record generation for the skew studies.
+type GenOpts struct {
+	// N is the number of records.
+	N int
+	// Dist is the paper's temporal distribution (Uniform or SkewedTime).
+	Dist Distribution
+	// Seed drives generation; runs are deterministic per (Seed, knobs).
+	Seed int64
+	// Zipf, when > 1, draws the integer attributes a1..a4 zipf-distributed
+	// over [0,255] with this exponent instead of uniformly (rand.Zipf
+	// requires s > 1; larger = more skew — 1.5 is mild, 3 makes a handful
+	// of values dominate). 0 keeps the uniform draw.
+	Zipf float64
+	// Layout arranges the records (default LayoutShuffled).
+	Layout Layout
+}
+
+// GenerateOpts produces records under the given knobs, deterministically
+// per options.
+func (s *Suite) GenerateOpts(opts GenOpts) ([]cube.Record, error) {
+	if opts.Zipf != 0 && opts.Zipf <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must be > 1, got %g", opts.Zipf)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
 	tSpan := int64(Days * 86400)
-	if dist == SkewedTime {
+	if opts.Dist == SkewedTime {
 		tSpan = SkewDays * 86400
 	}
-	out := make([]cube.Record, n)
+	var zipf *rand.Zipf
+	if opts.Zipf > 1 {
+		zipf = rand.NewZipf(rng, opts.Zipf, 1, 255)
+	}
+	attr := func() int64 {
+		if zipf != nil {
+			return int64(zipf.Uint64())
+		}
+		return rng.Int63n(256)
+	}
+	out := make([]cube.Record, opts.N)
 	for i := range out {
 		out[i] = cube.Record{
-			rng.Int63n(256), rng.Int63n(256), rng.Int63n(256), rng.Int63n(256),
+			attr(), attr(), attr(), attr(),
 			rng.Int63n(tSpan), rng.Int63n(tSpan),
 		}
 	}
-	return out
+	switch opts.Layout {
+	case LayoutShuffled:
+	case LayoutClustered:
+		sortRecords(out, nil)
+	case LayoutAdversarial:
+		freq := make(map[int64]int)
+		for _, r := range out {
+			freq[r[0]]++
+		}
+		sortRecords(out, freq)
+	default:
+		return nil, fmt.Errorf("workload: unknown layout %d", opts.Layout)
+	}
+	return out, nil
+}
+
+// sortRecords orders records lexicographically by attribute values; with
+// freq non-nil, primarily by ascending a1-frequency so the biggest
+// clusters sort last. Full-record lexicographic tiebreak keeps the order
+// deterministic for any input.
+func sortRecords(recs []cube.Record, freq map[int64]int) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if freq != nil && freq[a[0]] != freq[b[0]] {
+			return freq[a[0]] < freq[b[0]]
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
 }
 
 // WriteDFS packs records into aligned blocks and stores them as a DFS

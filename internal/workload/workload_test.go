@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 
+	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/distkey"
 	"github.com/casm-project/casm/internal/recio"
@@ -155,5 +157,122 @@ func TestWriteDFSRoundTrip(t *testing.T) {
 	}
 	if len(back) != len(records) {
 		t.Fatalf("got %d records back, want %d", len(back), len(records))
+	}
+}
+
+func TestGenerateOptsZipf(t *testing.T) {
+	su := NewSuite()
+	recs, err := su.GenerateOpts(GenOpts{N: 10000, Seed: 7, Zipf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := su.Schema.Validate(r); err != nil {
+			t.Fatalf("invalid record: %v", err)
+		}
+	}
+	// Zipf with exponent 2 concentrates mass heavily: the single hottest
+	// a1 value must dwarf a uniform share (10000/256 ≈ 39).
+	freq := map[int64]int{}
+	for _, r := range recs {
+		freq[r[0]]++
+	}
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Errorf("hottest a1 value has %d/10000 records; zipf(2) should concentrate far more", max)
+	}
+	// Determinism.
+	again, _ := su.GenerateOpts(GenOpts{N: 10000, Seed: 7, Zipf: 2})
+	for i := range recs {
+		for j := range recs[i] {
+			if recs[i][j] != again[i][j] {
+				t.Fatal("zipf generation not deterministic")
+			}
+		}
+	}
+	// Invalid exponents are rejected, not silently accepted.
+	if _, err := su.GenerateOpts(GenOpts{N: 10, Zipf: 0.5}); err == nil {
+		t.Error("zipf 0.5 accepted")
+	}
+	if _, err := su.GenerateOpts(GenOpts{N: 10, Zipf: 1}); err == nil {
+		t.Error("zipf 1 accepted")
+	}
+}
+
+func TestGenerateOptsLayouts(t *testing.T) {
+	su := NewSuite()
+	opts := GenOpts{N: 5000, Seed: 3, Zipf: 1.5}
+
+	clustered, err := su.GenerateOpts(GenOpts{N: opts.N, Seed: opts.Seed, Zipf: opts.Zipf, Layout: LayoutClustered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(clustered); i++ {
+		if clustered[i][0] < clustered[i-1][0] {
+			t.Fatal("clustered layout not sorted by a1")
+		}
+	}
+
+	adv, err := su.GenerateOpts(GenOpts{N: opts.N, Seed: opts.Seed, Zipf: opts.Zipf, Layout: LayoutAdversarial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hottest cluster last: the final record's a1 value must be the most
+	// frequent one, and frequencies must be non-decreasing along the file.
+	freq := map[int64]int{}
+	for _, r := range adv {
+		freq[r[0]]++
+	}
+	for i := 1; i < len(adv); i++ {
+		if freq[adv[i][0]] < freq[adv[i-1][0]] {
+			t.Fatal("adversarial layout not ordered by ascending a1 frequency")
+		}
+	}
+	best := int64(-1)
+	for v, c := range freq {
+		if best < 0 || c > freq[best] {
+			best = v
+		}
+	}
+	if adv[len(adv)-1][0] != best {
+		t.Errorf("last record's a1 = %d, want hottest value %d", adv[len(adv)-1][0], best)
+	}
+
+	// Layouts permute, never alter, the record multiset.
+	shuffled, _ := su.GenerateOpts(GenOpts{N: opts.N, Seed: opts.Seed, Zipf: opts.Zipf})
+	count := func(recs []cube.Record) map[string]int {
+		m := map[string]int{}
+		for _, r := range recs {
+			m[fmt.Sprint([]int64(r))]++
+		}
+		return m
+	}
+	want := count(shuffled)
+	for name, got := range map[string]map[string]int{"clustered": count(clustered), "adversarial": count(adv)} {
+		if len(got) != len(want) {
+			t.Fatalf("%s layout changed the record multiset", name)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("%s layout changed the record multiset at %s", name, k)
+			}
+		}
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	for s, want := range map[string]Layout{"shuffled": LayoutShuffled, "": LayoutShuffled, "clustered": LayoutClustered, "adversarial": LayoutAdversarial} {
+		got, err := ParseLayout(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLayout(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLayout("sorted"); err == nil {
+		t.Error("bogus layout accepted")
 	}
 }
