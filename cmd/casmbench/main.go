@@ -47,6 +47,65 @@ type snapshot struct {
 	// panel keys, and this section is a reproduction-extension study, not
 	// one of the paper's figures it guards.
 	MorselSkew *panelResult `json:"morsel_skew,omitempty"`
+	// Memory is the host-side memory footprint of the panel (a) run. Also
+	// outside Panels: allocation totals and peak heap are properties of
+	// this Go process on this machine — tracked across PRs for the
+	// bounded-memory work, but never bit-guarded like simulated seconds.
+	Memory *memoryResult `json:"memory,omitempty"`
+}
+
+// memoryResult is the allocation accounting bracket around one panel:
+// AllocBytes/Mallocs are the runtime.MemStats TotalAlloc/Mallocs deltas
+// (the B/op and allocs/op equivalents for a 1-iteration run), and
+// PeakHeapInuse the maximum HeapInuse a background sampler observed while
+// the panel ran — the number a GOMEMLIMIT bound would have to accommodate.
+type memoryResult struct {
+	Panel              string `json:"panel"`
+	AllocBytes         uint64 `json:"alloc_bytes"`
+	Mallocs            uint64 `json:"mallocs"`
+	PeakHeapInuseBytes uint64 `json:"peak_heap_inuse_bytes"`
+}
+
+// measureMemory runs fn bracketed by MemStats reads, with a 10ms sampler
+// tracking peak in-use heap (ReadMemStats briefly stops the world, so the
+// interval trades resolution against perturbing the measured run).
+func measureMemory(panel string, fn func()) memoryResult {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		var peak uint64
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	peak := <-peakCh
+	runtime.ReadMemStats(&after)
+	if after.HeapInuse > peak {
+		peak = after.HeapInuse
+	}
+	return memoryResult{
+		Panel:              panel,
+		AllocBytes:         after.TotalAlloc - before.TotalAlloc,
+		Mallocs:            after.Mallocs - before.Mallocs,
+		PeakHeapInuseBytes: peak,
+	}
 }
 
 type panelResult struct {
@@ -111,7 +170,18 @@ func main() {
 			return
 		}
 		start := time.Now()
-		p, err := f(cfg)
+		var p tabler
+		var err error
+		if name == "a" {
+			// Panel (a) doubles as the memory benchmark: the scale-up sweep
+			// is the biggest single-process data plane exercise here.
+			mem := measureMemory(name, func() { p, err = f(cfg) })
+			if err == nil {
+				snap.Memory = &mem
+			}
+		} else {
+			p, err = f(cfg)
+		}
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintf(os.Stderr, "casmbench: interrupted\n")
@@ -128,6 +198,10 @@ func main() {
 		}
 		fmt.Print(t.String())
 		fmt.Printf("(panel %s regenerated in %.1fs real time)\n\n", name, elapsed)
+		if m := snap.Memory; m != nil && m.Panel == name {
+			fmt.Printf("(panel %s memory: %.1f MB allocated in %d mallocs, peak heap in use %.1f MB)\n\n",
+				name, float64(m.AllocBytes)/(1<<20), m.Mallocs, float64(m.PeakHeapInuseBytes)/(1<<20))
+		}
 	}
 
 	run("a", func(c figures.Config) (tabler, error) { return figures.Fig4a(ctx, c) })

@@ -173,7 +173,7 @@ func (e *Engine) occupancyJob(ctx context.Context, ds *Dataset, g cube.Grain) ([
 		}
 		coord := make([]int64, arity)
 		s.CoordOf(rec, g, coord)
-		return ctx.EmitString(cube.EncodeCoords(coord), nil)
+		return ctx.Emit(cube.AppendCoords(nil, coord), nil)
 	}
 	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		if err := values.Drain(); err != nil {
@@ -183,7 +183,7 @@ func (e *Engine) occupancyJob(ctx context.Context, ds *Dataset, g cube.Grain) ([
 		if err != nil {
 			return err
 		}
-		ctx.EmitString("occ", encodeMeasureRecord(coords, 0))
+		ctx.EmitStable(occKey, encodeMeasureRecord(coords, 0))
 		return nil
 	}
 	rows, js, err := e.runRowsJob(ctx, ds.Input, mapFn, reduceFn, arity)
@@ -205,6 +205,7 @@ func (e *Engine) basicJob(ctx context.Context, ds *Dataset, m *workflow.Measure)
 }, mr.JobStats, error) {
 	s := ds.Schema
 	arity := s.NumAttrs()
+	nameKey := []byte(m.Name) // job-stable: one allocation shared by every output pair
 	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
 		rec := getRecordBuf(arity)
 		defer putRecordBuf(rec)
@@ -217,7 +218,7 @@ func (e *Engine) basicJob(ctx context.Context, ds *Dataset, m *workflow.Measure)
 		if m.InputAttr >= 0 {
 			v = float64(rec[m.InputAttr])
 		}
-		return ctx.EmitString(cube.EncodeCoords(coord), encodeFloat(v))
+		return ctx.Emit(cube.AppendCoords(nil, coord), encodeFloat(v))
 	}
 	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		agg := m.Agg.New()
@@ -240,7 +241,7 @@ func (e *Engine) basicJob(ctx context.Context, ds *Dataset, m *workflow.Measure)
 		if err != nil {
 			return err
 		}
-		ctx.EmitString(m.Name, encodeMeasureRecord(coords, v))
+		ctx.EmitStable(nameKey, encodeMeasureRecord(coords, v))
 		return nil
 	}
 	return e.runRowsJob(ctx, ds.Input, mapFn, reduceFn, arity)
@@ -268,6 +269,10 @@ func occInput(coords [][]int64, tag byte) [][]byte {
 
 const occTag = 0xFF
 
+// occKey is the job-stable output key of occupancy jobs (EmitStable needs
+// key bytes that outlive the job; a package-level slice trivially does).
+var occKey = []byte("occ")
+
 // joinJob evaluates a self or inherit measure: source results and the
 // target grain's occupancy are co-partitioned on the LCA of their grains
 // and joined reducer-side (the intro's Step 3).
@@ -288,6 +293,7 @@ func (e *Engine) joinJob(ctx context.Context, w *workflow.Workflow, m *workflow.
 		grains = append(grains, sm.Grain)
 	}
 	join := s.LCA(grains...)
+	nameKey := []byte(m.Name)
 
 	var input [][]byte
 	for i, rows := range srcRows {
@@ -311,7 +317,7 @@ func (e *Engine) joinJob(ctx context.Context, w *workflow.Workflow, m *workflow.
 		for i := range jc {
 			jc[i] = s.Attr(i).RollBetween(coords[i], from[i], join[i])
 		}
-		return ctx.EmitString(cube.EncodeCoords(jc), append([]byte{tag}, encodeMeasureRecord(coords, v)...))
+		return ctx.Emit(cube.AppendCoords(nil, jc), append([]byte{tag}, encodeMeasureRecord(coords, v)...))
 	}
 	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		perSrc := make([]map[string]float64, len(srcs))
@@ -353,7 +359,7 @@ func (e *Engine) joinJob(ctx context.Context, w *workflow.Workflow, m *workflow.
 				args[i] = v
 			}
 			if v := m.Expr.Eval(args); !math.IsNaN(v) {
-				ctx.EmitString(m.Name, encodeMeasureRecord(c, v))
+				ctx.EmitStable(nameKey, encodeMeasureRecord(c, v))
 			}
 		}
 		return nil
@@ -374,6 +380,7 @@ func (e *Engine) rollupJob(ctx context.Context, w *workflow.Workflow, m *workflo
 	s := w.Schema()
 	arity := s.NumAttrs()
 	src, _ := w.Measure(m.Sources[0])
+	nameKey := []byte(m.Name)
 	input := rowsInput(srcRows, 0)
 	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
 		coords, v, err := decodeMeasureRecord(raw[1:], arity)
@@ -384,7 +391,7 @@ func (e *Engine) rollupJob(ctx context.Context, w *workflow.Workflow, m *workflo
 		for i := range parent {
 			parent[i] = s.Attr(i).RollBetween(coords[i], src.Grain[i], m.Grain[i])
 		}
-		return ctx.EmitString(cube.EncodeCoords(parent), encodeFloat(v))
+		return ctx.Emit(cube.AppendCoords(nil, parent), encodeFloat(v))
 	}
 	reduceFn := func(ctx *mr.ReduceCtx, key []byte, values *mr.GroupIter) error {
 		agg := m.Agg.New()
@@ -404,7 +411,7 @@ func (e *Engine) rollupJob(ctx context.Context, w *workflow.Workflow, m *workflo
 			if err != nil {
 				return err
 			}
-			ctx.EmitString(m.Name, encodeMeasureRecord(coords, v))
+			ctx.EmitStable(nameKey, encodeMeasureRecord(coords, v))
 		}
 		return nil
 	}
@@ -423,6 +430,7 @@ func (e *Engine) slidingJob(ctx context.Context, s *cube.Schema, m *workflow.Mea
 	value  float64
 }, mr.JobStats, error) {
 	arity := s.NumAttrs()
+	nameKey := []byte(m.Name)
 	input := append(rowsInput(srcRows, 0), occInput(occ, occTag)...)
 	mapFn := func(ctx *mr.MapCtx, raw []byte) error {
 		tag := raw[0]
@@ -431,7 +439,7 @@ func (e *Engine) slidingJob(ctx context.Context, s *cube.Schema, m *workflow.Mea
 			return err
 		}
 		if tag == occTag {
-			return ctx.EmitString(cube.EncodeCoords(coords), append([]byte{occTag}, encodeFloat(0)...))
+			return ctx.Emit(cube.AppendCoords(nil, coords), append([]byte{occTag}, encodeFloat(0)...))
 		}
 		// Enumerate the target regions whose window covers this source
 		// region: per annotated attribute X with range (l, h), targets at
@@ -444,7 +452,7 @@ func (e *Engine) slidingJob(ctx context.Context, s *cube.Schema, m *workflow.Mea
 				return
 			}
 			if i == len(m.Window) {
-				emitErr = ctx.EmitString(cube.EncodeCoords(target), append([]byte{0}, encodeFloat(v)...))
+				emitErr = ctx.Emit(cube.AppendCoords(nil, target), append([]byte{0}, encodeFloat(v)...))
 				return
 			}
 			ann := m.Window[i]
@@ -488,7 +496,7 @@ func (e *Engine) slidingJob(ctx context.Context, s *cube.Schema, m *workflow.Mea
 			if err != nil {
 				return err
 			}
-			ctx.EmitString(m.Name, encodeMeasureRecord(coords, v))
+			ctx.EmitStable(nameKey, encodeMeasureRecord(coords, v))
 		}
 		return nil
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/casm-project/casm/internal/optimizer"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/stats"
+	"github.com/casm-project/casm/internal/transport"
 	"github.com/casm-project/casm/internal/workflow"
 )
 
@@ -155,6 +156,7 @@ func sampleDataset(ds *Dataset, n int, seed int64) ([]cube.Record, int64, error)
 		for {
 			raw, ok, err := it.Next()
 			if err != nil {
+				it.Close()
 				return nil, 0, err
 			}
 			if !ok {
@@ -162,9 +164,13 @@ func sampleDataset(ds *Dataset, n int, seed int64) ([]cube.Record, int64, error)
 			}
 			rec, err := recio.DecodeRecord(raw, arity)
 			if err != nil {
+				it.Close()
 				return nil, 0, err
 			}
 			res.Add(rec)
+		}
+		if err := it.Close(); err != nil {
+			return nil, 0, err
 		}
 	}
 	return res.Sample(), bytesRead, nil
@@ -198,10 +204,21 @@ func (e *Engine) RunWithPlan(w *workflow.Workflow, ds *Dataset, outcome PlanOutc
 	return e.RunWithPlanContext(context.Background(), w, ds, outcome)
 }
 
-// RunWithPlanContext executes the workflow under an explicit plan
-// outcome; see EvaluateContext for the execution and cancellation
-// contract.
-func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, ds *Dataset, outcome PlanOutcome) (*Result, error) {
+// jobStart is a launched evaluation job: the streaming output pipe plus
+// the plan facts consumers need to decode and label it.
+type jobStart struct {
+	pipe  *mr.Pipe
+	plan  optimizer.Plan
+	early bool
+	arity int
+}
+
+// startJob builds the evaluation job for the workflow under the given
+// plan outcome and starts it, returning the streaming output. The caller
+// owns the pipe and must Close it on every path. RunWithPlanContext
+// drains it into a materialized Result; EvaluateStream hands it to the
+// caller row by row.
+func (e *Engine) startJob(ctx context.Context, w *workflow.Workflow, ds *Dataset, outcome PlanOutcome) (*jobStart, error) {
 	s := ds.Schema
 	plan := outcome.Plan
 	bm, err := distkey.NewBlockMapper(s, plan.Key, plan.ClusteringFactor)
@@ -391,17 +408,36 @@ func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, d
 	if e.cfg.Stage == StageMapOnly {
 		job.Reduce = nil
 	}
-	res, err := mr.RunContext(ctx, job)
+	pipe, err := mr.RunPipe(ctx, job)
 	if err != nil {
 		return nil, err
 	}
+	return &jobStart{pipe: pipe, plan: plan, early: early, arity: arity}, nil
+}
+
+// RunWithPlanContext executes the workflow under an explicit plan
+// outcome; see EvaluateContext for the execution and cancellation
+// contract.
+//
+// The job's output is streamed: batches of measure records are decoded
+// into the result as reduce tasks emit them, concurrently with the rest
+// of the reduce phase, instead of materializing one all-reducers []Pair
+// first. The emitted Value buffers become garbage batch by batch and the
+// batch slices recycle through the transport pool, so peak memory holds
+// the decoded result, not the decoded result plus its full wire form.
+func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, ds *Dataset, outcome PlanOutcome) (*Result, error) {
+	js, err := e.startJob(ctx, w, ds, outcome)
+	if err != nil {
+		return nil, err
+	}
+	pipe, arity := js.pipe, js.arity
+	defer pipe.Close() // tears the job down on assembly-error paths
 
 	out := &Result{
 		Measures:        make(map[string][]MeasureRecord, len(w.Measures())),
-		Plan:            plan,
+		Plan:            js.plan,
 		SampledPlan:     outcome.Sampled,
-		EarlyAggregated: early,
-		Stats:           res.Stats,
+		EarlyAggregated: js.early,
 		SampleSeconds:   outcome.SampleSeconds,
 	}
 	// Output assembly is per record, so it probes instead of allocating:
@@ -412,37 +448,55 @@ func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, d
 	byKey := make(map[string]*workflow.Measure, len(w.Measures()))
 	const coordChunk = 4096
 	var coordArena []int64
-	for _, p := range res.Output {
-		m, ok := byKey[string(p.Key)]
-		if !ok {
-			name := p.KeyString()
-			if m, ok = w.Measure(name); !ok {
-				return nil, fmt.Errorf("core: output for unknown measure %q", name)
-			}
-			byKey[name] = m
-		}
-		if len(p.Value) < 8 {
-			return nil, fmt.Errorf("core: truncated measure record")
-		}
-		if cap(coordArena)-len(coordArena) < arity {
-			size := coordChunk
-			if arity > size {
-				size = arity
-			}
-			coordArena = make([]int64, 0, size)
-		}
-		start := len(coordArena)
-		coordArena = coordArena[:start+arity]
-		coords := coordArena[start : start+arity : start+arity]
-		if err := cube.DecodeCoordsInto(p.Value[:len(p.Value)-8], coords); err != nil {
+	for {
+		_, pairs, ok, err := pipe.NextBatch()
+		if err != nil {
 			return nil, err
 		}
-		v := math.Float64frombits(binary.LittleEndian.Uint64(p.Value[len(p.Value)-8:]))
-		out.Measures[m.Name] = append(out.Measures[m.Name], MeasureRecord{
-			Region: cube.Region{Grain: m.Grain, Coord: coords},
-			Value:  v,
-		})
+		if !ok {
+			break
+		}
+		for _, p := range pairs {
+			m, ok := byKey[string(p.Key)]
+			if !ok {
+				name := string(p.Key)
+				if m, ok = w.Measure(name); !ok {
+					return nil, fmt.Errorf("core: output for unknown measure %q", name)
+				}
+				byKey[name] = m
+			}
+			if len(p.Value) < 8 {
+				return nil, fmt.Errorf("core: truncated measure record")
+			}
+			if cap(coordArena)-len(coordArena) < arity {
+				size := coordChunk
+				if arity > size {
+					size = arity
+				}
+				coordArena = make([]int64, 0, size)
+			}
+			start := len(coordArena)
+			coordArena = coordArena[:start+arity]
+			coords := coordArena[start : start+arity : start+arity]
+			if err := cube.DecodeCoordsInto(p.Value[:len(p.Value)-8], coords); err != nil {
+				return nil, err
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(p.Value[len(p.Value)-8:]))
+			out.Measures[m.Name] = append(out.Measures[m.Name], MeasureRecord{
+				Region: cube.Region{Grain: m.Grain, Coord: coords},
+				Value:  v,
+			})
+		}
+		transport.RecycleBatch(pairs)
 	}
+	if err := pipe.Close(); err != nil {
+		return nil, err
+	}
+	out.Stats = pipe.Stats()
+	// Batches arrive in reduce-completion order, but every measure's
+	// records are sorted by encoded coordinates below — a total order,
+	// since the ownership filter emits each region exactly once — so the
+	// canonical result bytes are independent of arrival interleaving.
 	var ea, eb []byte // reused encode scratch for the output sort
 	for name := range out.Measures {
 		ms := out.Measures[name]
@@ -452,7 +506,7 @@ func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, d
 			return bytes.Compare(ea, eb) < 0
 		})
 	}
-	out.Estimate = EstimateFromStats(e.cfg.Cluster, res.Stats)
+	out.Estimate = EstimateFromStats(e.cfg.Cluster, out.Stats)
 	out.Estimate.ReduceSeconds += outcome.SampleSeconds
 	return out, nil
 }
@@ -703,13 +757,19 @@ type mapLocal struct {
 	// chunk is the current combined-key arena chunk. Combined keys are
 	// unique per pair (block prefix + raw record), so they cannot be
 	// interned; the arena instead amortizes their storage to one
-	// allocation per combinedKeyChunk bytes.
+	// allocation per chunk.
 	chunk []byte
+	// chunkNext is the next chunk's capacity: chunks grow geometrically
+	// from combinedKeyChunkMin to combinedKeyChunkMax, so the many tasks
+	// that emit only a few combined keys (sliding windows off, small
+	// splits) don't each pin a fixed 64KiB.
+	chunkNext int
 }
 
-// combinedKeyChunk is the allocation granularity of the combined-key
-// arena.
-const combinedKeyChunk = 1 << 16
+const (
+	combinedKeyChunkMin = 256
+	combinedKeyChunkMax = 1 << 16
+)
 
 // combinedKey appends block+raw into the task arena and returns the
 // stable composite key. A full chunk is abandoned (kept alive by the
@@ -718,7 +778,15 @@ const combinedKeyChunk = 1 << 16
 func (ml *mapLocal) combinedKey(block, raw []byte) []byte {
 	need := len(block) + len(raw)
 	if cap(ml.chunk)-len(ml.chunk) < need {
-		size := combinedKeyChunk
+		size := ml.chunkNext
+		if size < combinedKeyChunkMin {
+			size = combinedKeyChunkMin
+		}
+		if next := size * 2; next <= combinedKeyChunkMax {
+			ml.chunkNext = next
+		} else {
+			ml.chunkNext = combinedKeyChunkMax
+		}
 		if need > size {
 			size = need
 		}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/casm-project/casm/internal/costmodel"
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/optimizer"
+	"github.com/casm-project/casm/internal/transport"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// ResultRow is one streamed <measure, region, value> output row.
+type ResultRow struct {
+	Measure string
+	Region  cube.Region
+	Value   float64
+}
+
+// ResultStream is the streaming form of an evaluation: an
+// iterx.Iter[ResultRow] yielding result rows as the job's reduce tasks
+// emit them, concurrently with the rest of the run, instead of one
+// Result assembled after the job completes. Rows arrive in
+// reduce-completion order, NOT the per-measure region order of
+// Result.Measures — a sink needing the canonical order must sort (or use
+// EvaluateContext, which does).
+//
+// The stream is single-use and single-goroutine: consume with Next until
+// ok=false, check the error, Close; or Close early to cancel the
+// in-flight job (tasks abort, spill state is reclaimed). Stats and
+// Estimate are valid only after the stream has ended.
+//
+// Ownership: a row's Region.Coord is only valid until the following Next
+// call (coordinates decode into a reused buffer); Measure is an interned
+// string, safe to retain.
+type ResultStream struct {
+	eng  *Engine
+	pipe *mr.Pipe
+	w    *workflow.Workflow
+
+	// Plan facts, valid immediately.
+	Plan            optimizer.Plan
+	SampledPlan     bool
+	EarlyAggregated bool
+	SampleSeconds   float64
+
+	arity  int
+	byKey  map[string]*workflow.Measure
+	coords []int64
+	cur    []transport.Pair
+	i      int
+	rows   int64
+}
+
+// EvaluateStream plans the workflow and starts its evaluation, returning
+// the streaming result. The engine, executor sharing, and cancellation
+// contract match EvaluateContext; only the output handoff differs — rows
+// flow to the caller while the job still runs, so a sink sees the first
+// row before the last record is mapped (given a transport whose
+// per-reducer streams can end early) and peak memory never holds the
+// whole result.
+func (e *Engine) EvaluateStream(ctx context.Context, w *workflow.Workflow, ds *Dataset) (*ResultStream, error) {
+	outcome, err := e.PlanContext(ctx, w, ds)
+	if err != nil {
+		return nil, err
+	}
+	js, err := e.startJob(ctx, w, ds, outcome)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultStream{
+		eng:             e,
+		pipe:            js.pipe,
+		w:               w,
+		Plan:            js.plan,
+		SampledPlan:     outcome.Sampled,
+		EarlyAggregated: js.early,
+		SampleSeconds:   outcome.SampleSeconds,
+		arity:           js.arity,
+		byKey:           make(map[string]*workflow.Measure, len(w.Measures())),
+		coords:          make([]int64, js.arity),
+	}, nil
+}
+
+// Next returns the next result row; ok=false ends the stream (err, if
+// any, is the job's). See ResultStream for ownership.
+func (s *ResultStream) Next() (ResultRow, bool, error) {
+	for s.i >= len(s.cur) {
+		if s.cur != nil {
+			transport.RecycleBatch(s.cur)
+			s.cur = nil
+		}
+		_, pairs, ok, err := s.pipe.NextBatch()
+		if err != nil || !ok {
+			return ResultRow{}, false, err
+		}
+		s.cur, s.i = pairs, 0
+	}
+	p := s.cur[s.i]
+	s.i++
+	m, ok := s.byKey[string(p.Key)]
+	if !ok {
+		name := string(p.Key)
+		if m, ok = s.w.Measure(name); !ok {
+			return ResultRow{}, false, fmt.Errorf("core: output for unknown measure %q", name)
+		}
+		s.byKey[name] = m
+	}
+	if len(p.Value) < 8 {
+		return ResultRow{}, false, fmt.Errorf("core: truncated measure record")
+	}
+	if err := cube.DecodeCoordsInto(p.Value[:len(p.Value)-8], s.coords); err != nil {
+		return ResultRow{}, false, err
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.Value[len(p.Value)-8:]))
+	s.rows++
+	return ResultRow{
+		Measure: m.Name,
+		Region:  cube.Region{Grain: m.Grain, Coord: s.coords},
+		Value:   v,
+	}, true, nil
+}
+
+// Close tears the job down if it is still running and releases the
+// stream; idempotent (see mr.Pipe.Close for the early-close contract).
+func (s *ResultStream) Close() error { return s.pipe.Close() }
+
+// Rows reports how many rows the stream has yielded so far.
+func (s *ResultStream) Rows() int64 { return s.rows }
+
+// Stats returns the job's counters; valid once the stream has ended.
+func (s *ResultStream) Stats() mr.JobStats { return s.pipe.Stats() }
+
+// Estimate returns the simulated response time on the engine's cluster,
+// including any sampling overhead; valid once the stream has ended.
+func (s *ResultStream) Estimate() costmodel.Estimate {
+	est := EstimateFromStats(s.eng.cfg.Cluster, s.pipe.Stats())
+	est.ReduceSeconds += s.SampleSeconds
+	return est
+}

@@ -178,6 +178,7 @@ type Session struct {
 	lastKey      []byte   // intern fast path: key of the last encoded block
 	interned     map[string][]byte
 	arena        []byte // current arena chunk; old chunks stay live via interned keys
+	arenaNext    int    // next chunk's capacity (geometric growth, capped)
 
 	// Hits counts intern-cache hits (last-block fast path included);
 	// Misses counts keys that had to be allocated. The engine surfaces
@@ -199,9 +200,15 @@ func (bm *BlockMapper) NewSession() *Session {
 	}
 }
 
-// arenaChunk is the allocation granularity of a session's key arena: one
-// make per 64KiB of distinct key bytes instead of one per key.
-const arenaChunk = 1 << 16
+// Arena chunks grow geometrically from arenaChunkMin to arenaChunkMax:
+// a session interning a handful of keys (short-lived per-task sessions
+// dominate numerically) costs hundreds of bytes instead of a fixed
+// 64KiB, while a key-dense session still converges to one make per 64KiB
+// of distinct key bytes.
+const (
+	arenaChunkMin = 256
+	arenaChunkMax = 1 << 16
+)
 
 // arenaCopy copies b into the session arena and returns the stable copy.
 // A full chunk is abandoned (kept alive by the keys pointing into it)
@@ -209,7 +216,15 @@ const arenaChunk = 1 << 16
 // key slices can never be moved or logically extended.
 func (ss *Session) arenaCopy(b []byte) []byte {
 	if cap(ss.arena)-len(ss.arena) < len(b) {
-		size := arenaChunk
+		size := ss.arenaNext
+		if size < arenaChunkMin {
+			size = arenaChunkMin
+		}
+		if next := size * 2; next <= arenaChunkMax {
+			ss.arenaNext = next
+		} else {
+			ss.arenaNext = arenaChunkMax
+		}
 		if len(b) > size {
 			size = len(b)
 		}

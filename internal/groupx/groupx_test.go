@@ -60,7 +60,7 @@ func randomPairs(rng *rand.Rand, n, nKeys int) []transport.Pair {
 	for i := range pairs {
 		v := make([]byte, 8)
 		binary.LittleEndian.PutUint64(v, uint64(i))
-		pairs[i] = transport.PairS(fmt.Sprintf("k%03d", rng.Intn(nKeys)), v)
+		pairs[i] = transport.Pair{Key: fmt.Appendf(nil, "k%03d", rng.Intn(nKeys)), Value: v}
 	}
 	return pairs
 }
@@ -150,7 +150,7 @@ func TestHashSpillAccounting(t *testing.T) {
 	c := NewHash(testCodec{}, t.TempDir(), 4)
 	for i := 0; i < 10; i++ { // 10 pairs, budget 4: two overflow flushes + residue
 		v := []byte{byte(i)}
-		if err := c.Add(transport.PairS(fmt.Sprintf("k%d", i%3), v)); err != nil {
+		if err := c.Add(transport.Pair{Key: fmt.Appendf(nil, "k%d", i%3), Value: v}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,266 @@
+// Package iterx defines the streaming data plane's iterator abstraction:
+// a pull-based, single-use, explicitly closed stream of values. Every
+// stage of the pipelined engine — record sources, the shuffle's grouped
+// output, the job's result stream — speaks this shape, so stages compose
+// without materializing between them and peak memory is bounded by what
+// is in flight, not by the dataset.
+//
+// # Contract
+//
+// An Iter is SINGLE-USE: obtain it, consume it with Next until ok=false
+// (or an error), Close it, and never touch it again. In detail:
+//
+//   - Next returns the next value. After it has returned ok=false or a
+//     non-nil error the stream is exhausted: every subsequent Next must
+//     keep returning ok=false (it must not panic, restart, or invent
+//     values), but callers must not rely on anything beyond that.
+//   - Close releases the stream's resources (descriptors, buffers,
+//     goroutine-backed stages) and is IDEMPOTENT — calling it again is a
+//     no-op returning the first call's error. Close may be called before
+//     exhaustion; the stream then tears down early (an in-flight
+//     producer is cancelled and drained). Every Iter must be Closed,
+//     including on error paths — defer it.Close() at acquisition.
+//   - Ownership: unless an implementation documents otherwise, the value
+//     returned by Next is only guaranteed valid until the following Next
+//     or Close call (sources that decode into reused buffers hand out
+//     aliases). Callers that retain a value must copy what it references.
+//   - Iterators are single-goroutine; wrap externally to share.
+//
+// A repo lint (internal/lint) enforces the single-use discipline at the
+// call sites the compiler cannot: no internal caller re-uses an iterator
+// after consuming or closing it.
+package iterx
+
+// Iter is a single-use pull iterator over values of type T. See the
+// package comment for the full contract.
+type Iter[T any] interface {
+	// Next returns the next value; ok=false means the stream is
+	// exhausted (err may accompany it). The returned value is only
+	// guaranteed valid until the following Next or Close call.
+	Next() (v T, ok bool, err error)
+	// Close releases the stream's resources. Idempotent; returns the
+	// first call's error on repeats.
+	Close() error
+}
+
+// Funcs adapts a next/close function pair into an Iter, providing the
+// exhaustion latch and Close idempotency so implementations only write
+// the interesting parts. close may be nil (no resources).
+type Funcs[T any] struct {
+	NextFn  func() (T, bool, error)
+	CloseFn func() error
+
+	done     bool
+	closed   bool
+	closeErr error
+}
+
+// New wraps next and close into an Iter. Exhaustion (ok=false or error
+// from next) latches: next is never called again afterwards. Close calls
+// close once; repeats return the first error.
+func New[T any](next func() (T, bool, error), close func() error) *Funcs[T] {
+	return &Funcs[T]{NextFn: next, CloseFn: close}
+}
+
+// Next implements Iter.
+func (f *Funcs[T]) Next() (T, bool, error) {
+	var zero T
+	if f.done || f.closed {
+		return zero, false, nil
+	}
+	v, ok, err := f.NextFn()
+	if !ok || err != nil {
+		f.done = true
+		return zero, false, err
+	}
+	return v, true, nil
+}
+
+// Close implements Iter.
+func (f *Funcs[T]) Close() error {
+	if f.closed {
+		return f.closeErr
+	}
+	f.closed = true
+	if f.CloseFn != nil {
+		f.closeErr = f.CloseFn()
+	}
+	return f.closeErr
+}
+
+// Empty returns an exhausted iterator.
+func Empty[T any]() Iter[T] {
+	return New[T](func() (T, bool, error) { var z T; return z, false, nil }, nil)
+}
+
+// FromSlice returns an iterator over s. The yielded values alias s; the
+// caller keeps ownership of the backing array.
+func FromSlice[T any](s []T) Iter[T] {
+	i := 0
+	return New(func() (T, bool, error) {
+		var zero T
+		if i >= len(s) {
+			return zero, false, nil
+		}
+		v := s[i]
+		i++
+		return v, true, nil
+	}, nil)
+}
+
+// Collect drains it into a slice and closes it, returning the first
+// error from either. Convenience for tests and cold paths — hot paths
+// stream instead of collecting.
+func Collect[T any](it Iter[T]) ([]T, error) {
+	var out []T
+	for {
+		v, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return out, err
+		}
+		if !ok {
+			return out, it.Close()
+		}
+		out = append(out, v)
+	}
+}
+
+// Map returns an iterator yielding fn of each of src's values. The
+// mapped iterator consumes src and owns it: closing the result closes
+// src. fn runs on the pull, so per-value work is deferred until the
+// consumer asks — the composition streams end to end. Ownership of the
+// yielded value follows fn: if it returns memory derived from its
+// argument, the result is valid only until the next pull, like the
+// source's.
+func Map[A, B any](src Iter[A], fn func(A) (B, error)) Iter[B] {
+	return New(func() (B, bool, error) {
+		var zero B
+		a, ok, err := src.Next()
+		if err != nil || !ok {
+			return zero, false, err
+		}
+		b, err := fn(a)
+		if err != nil {
+			return zero, false, err
+		}
+		return b, true, nil
+	}, src.Close)
+}
+
+// Filter returns an iterator yielding only src's values for which keep
+// is true. Owns src like Map.
+func Filter[T any](src Iter[T], keep func(T) bool) Iter[T] {
+	return New(func() (T, bool, error) {
+		for {
+			v, ok, err := src.Next()
+			if err != nil || !ok {
+				var zero T
+				return zero, false, err
+			}
+			if keep(v) {
+				return v, true, nil
+			}
+		}
+	}, src.Close)
+}
+
+// Chain concatenates sources: all of the first, then all of the second,
+// and so on. It owns every source — each is closed as it exhausts, and
+// closing the chain closes the remainder (first error wins). A source
+// error stops the chain.
+func Chain[T any](sources ...Iter[T]) Iter[T] {
+	i := 0
+	var closeRest func() error
+	closeRest = func() error {
+		var first error
+		for ; i < len(sources); i++ {
+			if err := sources[i].Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return New(func() (T, bool, error) {
+		var zero T
+		for i < len(sources) {
+			v, ok, err := sources[i].Next()
+			if err != nil {
+				return zero, false, err
+			}
+			if ok {
+				return v, true, nil
+			}
+			if err := sources[i].Close(); err != nil {
+				return zero, false, err
+			}
+			i++
+		}
+		return zero, false, nil
+	}, closeRest)
+}
+
+// Merge combines pre-sorted sources into one sorted stream (k-way merge
+// without a heap — linear scan per pull, right for small k; the external
+// sort keeps its heap for large run counts). cmp follows slices.SortFunc
+// (negative when a < b); ties break toward the earlier source, so the
+// merge is stable across sources. Owns every source.
+//
+// Ownership: a yielded value is only valid until the following Next, as
+// sources may reuse buffers (the sortx contract) — Merge hands values
+// through without copying and defers each source's refill until after
+// its value was yielded.
+func Merge[T any](cmp func(a, b T) int, sources ...Iter[T]) Iter[T] {
+	heads := make([]T, len(sources))
+	has := make([]bool, len(sources))
+	primed := false
+	pending := -1 // source whose head was handed out and needs a refill
+	closeAll := func() error {
+		var first error
+		for _, s := range sources {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	refill := func(i int) error {
+		v, ok, err := sources[i].Next()
+		if err != nil {
+			return err
+		}
+		heads[i], has[i] = v, ok
+		return nil
+	}
+	return New(func() (T, bool, error) {
+		var zero T
+		if !primed {
+			primed = true
+			for i := range sources {
+				if err := refill(i); err != nil {
+					return zero, false, err
+				}
+			}
+		}
+		if pending >= 0 {
+			if err := refill(pending); err != nil {
+				return zero, false, err
+			}
+			pending = -1
+		}
+		best := -1
+		for i := range heads {
+			if !has[i] {
+				continue
+			}
+			if best < 0 || cmp(heads[i], heads[best]) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return zero, false, nil
+		}
+		pending = best
+		return heads[best], true, nil
+	}, closeAll)
+}

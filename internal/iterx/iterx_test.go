@@ -1,0 +1,248 @@
+package iterx
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"testing"
+)
+
+// countingIter tracks Next/Close calls to verify the single-use contract
+// mechanics of the Funcs adapter and the combinators' ownership.
+type countingIter struct {
+	vals     []int
+	i        int
+	nexts    int
+	closes   int
+	closeErr error
+	failAt   int // Next index that errors (-1 = never)
+}
+
+func newCounting(vals ...int) *countingIter { return &countingIter{vals: vals, failAt: -1} }
+
+func (c *countingIter) iter() Iter[int] {
+	return New(func() (int, bool, error) {
+		c.nexts++
+		if c.failAt >= 0 && c.i == c.failAt {
+			return 0, false, fmt.Errorf("injected at %d", c.i)
+		}
+		if c.i >= len(c.vals) {
+			return 0, false, nil
+		}
+		v := c.vals[c.i]
+		c.i++
+		return v, true, nil
+	}, func() error {
+		c.closes++
+		return c.closeErr
+	})
+}
+
+func TestNextAfterExhaustionLatches(t *testing.T) {
+	c := newCounting(1, 2)
+	it := c.iter()
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, []int{1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+	before := c.nexts
+	// Second and third Next after exhaustion: ok=false, and the wrapped
+	// next function is never invoked again.
+	for i := 0; i < 3; i++ {
+		if _, ok, err := it.Next(); ok || err != nil {
+			t.Fatalf("Next after exhaustion: ok=%v err=%v", ok, err)
+		}
+	}
+	if c.nexts != before {
+		t.Fatalf("exhausted iterator re-invoked its source: %d -> %d calls", before, c.nexts)
+	}
+}
+
+func TestNextAfterErrorLatches(t *testing.T) {
+	c := newCounting(1, 2, 3)
+	c.failAt = 1
+	it := c.iter()
+	if _, ok, err := it.Next(); !ok || err != nil {
+		t.Fatalf("first: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := it.Next(); ok || err == nil {
+		t.Fatalf("want error, got ok=%v err=%v", ok, err)
+	}
+	before := c.nexts
+	if _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("Next after error must latch exhausted, got ok=%v err=%v", ok, err)
+	}
+	if c.nexts != before {
+		t.Fatal("errored iterator re-invoked its source")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	c := newCounting(1)
+	c.closeErr = errors.New("close failed")
+	it := c.iter()
+	if err := it.Close(); !errors.Is(err, c.closeErr) {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := it.Close(); !errors.Is(err, c.closeErr) {
+		t.Fatalf("second Close must return the first call's error, got %v", err)
+	}
+	if c.closes != 1 {
+		t.Fatalf("close ran %d times, want 1", c.closes)
+	}
+	// Next after Close: exhausted, source untouched.
+	before := c.nexts
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("Next after Close yielded a value")
+	}
+	if c.nexts != before {
+		t.Fatal("Next after Close invoked the source")
+	}
+}
+
+func TestMapStreamsAndOwnsSource(t *testing.T) {
+	c := newCounting(1, 2, 3)
+	it := Map(c.iter(), func(v int) (int, error) { return v * 10, nil })
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, []int{10, 20, 30}) {
+		t.Fatalf("got %v", got)
+	}
+	if c.closes != 1 {
+		t.Fatalf("Map did not close its source exactly once: %d", c.closes)
+	}
+}
+
+func TestMapPropagatesErrors(t *testing.T) {
+	c := newCounting(1, 2)
+	it := Map(c.iter(), func(v int) (int, error) {
+		if v == 2 {
+			return 0, errors.New("fn failed")
+		}
+		return v, nil
+	})
+	if _, err := Collect(it); err == nil {
+		t.Fatal("want fn error")
+	}
+	if c.closes != 1 {
+		t.Fatalf("source closed %d times, want 1 (Collect closes on error)", c.closes)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	got, err := Collect(Filter(FromSlice([]int{1, 2, 3, 4, 5}), func(v int) bool { return v%2 == 1 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, []int{1, 3, 5}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChainConsumesInOrderAndClosesEagerly(t *testing.T) {
+	a, b, c := newCounting(1, 2), newCounting(), newCounting(3)
+	it := Chain(a.iter(), b.iter(), c.iter())
+	if v, ok, _ := it.Next(); !ok || v != 1 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	if v, ok, _ := it.Next(); !ok || v != 2 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	// Pulling past a's end closes a (and empty b) before yielding from c.
+	if v, ok, _ := it.Next(); !ok || v != 3 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	if a.closes != 1 || b.closes != 1 {
+		t.Fatalf("exhausted sources not closed eagerly: a=%d b=%d", a.closes, b.closes)
+	}
+	if _, ok, _ := it.Next(); ok {
+		t.Fatal("chain not exhausted")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.closes != 1 {
+		t.Fatalf("tail source closed %d times", c.closes)
+	}
+}
+
+func TestChainCloseMidStreamClosesRemainder(t *testing.T) {
+	a, b := newCounting(1, 2), newCounting(3)
+	it := Chain(a.iter(), b.iter())
+	if _, _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.closes != 1 || b.closes != 1 {
+		t.Fatalf("mid-stream Close must close every source: a=%d b=%d", a.closes, b.closes)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+	if a.closes != 1 || b.closes != 1 {
+		t.Fatal("second Close re-closed sources")
+	}
+}
+
+func TestMergeSortedStable(t *testing.T) {
+	cmp := func(a, b int) int { return a - b }
+	a, b, c := newCounting(1, 4, 7), newCounting(2, 4, 8), newCounting(0, 9)
+	it := Merge(cmp, a.iter(), b.iter(), c.iter())
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, []int{0, 1, 2, 4, 4, 7, 8, 9}) {
+		t.Fatalf("got %v", got)
+	}
+	if a.closes != 1 || b.closes != 1 || c.closes != 1 {
+		t.Fatal("merge did not close all sources once")
+	}
+}
+
+func TestMergeLazyRefill(t *testing.T) {
+	// The source whose head was yielded is only re-pulled on the NEXT
+	// call, so a handed-out value aliasing a reused buffer stays valid
+	// while the caller holds it (the sortx contract).
+	c := newCounting(1, 2)
+	it := Merge(func(a, b int) int { return a - b }, c.iter())
+	if _, ok, _ := it.Next(); !ok {
+		t.Fatal("want value")
+	}
+	pullsAfterFirst := c.nexts
+	if pullsAfterFirst != 1 {
+		t.Fatalf("source pulled %d times before second Next, want 1 (lazy refill)", pullsAfterFirst)
+	}
+	if _, ok, _ := it.Next(); !ok {
+		t.Fatal("want second value")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeErrorPropagates(t *testing.T) {
+	bad := newCounting(1, 2)
+	bad.failAt = 1
+	it := Merge(func(a, b int) int { return a - b }, bad.iter(), FromSlice([]int{5}))
+	if _, err := Collect(it); err == nil {
+		t.Fatal("want source error")
+	}
+}
+
+func TestEmptyAndFromSlice(t *testing.T) {
+	if vs, err := Collect(Empty[string]()); err != nil || len(vs) != 0 {
+		t.Fatalf("Empty: %v %v", vs, err)
+	}
+	vs, err := Collect(FromSlice([]string{"a", "b"}))
+	if err != nil || !slices.Equal(vs, []string{"a", "b"}) {
+		t.Fatalf("FromSlice: %v %v", vs, err)
+	}
+}

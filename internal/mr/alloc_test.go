@@ -67,10 +67,10 @@ func TestEmitShuffleGroupAllocs(t *testing.T) {
 	}
 }
 
-// stringRefJob is the string-keyed reference shim: the same logical job
-// as the byte-keyed one under test, but every key crosses the API as a
-// Go string via the compatibility wrappers (EmitString, fresh GroupBy
-// copies). The byte-keyed plane must be byte-identical to it.
+// propJob builds either the zero-copy job under test or its string-keyed
+// reference: the same logical job, but every key round-trips through a Go
+// string into a fresh copy (the allocation pattern of the retired
+// EmitString shims). The byte-keyed plane must be byte-identical to it.
 func propJob(records [][]byte, stringKeyed bool, mode GroupMode, groupBy func([]byte) []byte) Job {
 	return Job{
 		Input: NewMemoryInput(records, 3),
@@ -80,9 +80,9 @@ func propJob(records [][]byte, stringKeyed bool, mode GroupMode, groupBy func([]
 				j++
 			}
 			if stringKeyed {
-				// Reference shim: key round-trips through a string, value
+				// Reference: key round-trips through a string, value
 				// through a fresh copy.
-				return ctx.EmitString(string(rec[:j]), append([]byte(nil), rec[j+1:]...))
+				return ctx.Emit([]byte(string(rec[:j])), append([]byte(nil), rec[j+1:]...))
 			}
 			return ctx.Emit(rec[:j], rec[j+1:]) // zero-copy: input records are job-stable
 		},
@@ -101,11 +101,7 @@ func propJob(records [][]byte, stringKeyed bool, mode GroupMode, groupBy func([]
 				sb.Write(p.Value)
 				sb.WriteByte(';')
 			}
-			if stringKeyed {
-				ctx.EmitString(string(key), []byte(sb.String()))
-			} else {
-				ctx.Emit(key, []byte(sb.String()))
-			}
+			ctx.Emit(key, []byte(sb.String())) // Emit copies the key on both planes
 			return nil
 		},
 		Config: Config{

@@ -1,0 +1,87 @@
+package mr
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/casm-project/casm/internal/recio"
+)
+
+// --- packed-file input: streaming splits over an on-disk recio file ---
+
+// NewFileInput reads a recio.PackAligned file from disk, one split per
+// blockSize chunk (records never straddle block boundaries by
+// construction). Unlike loading the file and wrapping it in a memory
+// input, splits stream: each split reads its own block into a private
+// buffer when Opened, so at any moment only the blocks of in-flight map
+// tasks are resident — the file's footprint on the heap is bounded by
+// map parallelism, not file size. (Record bytes emitted into the shuffle
+// keep their containing block buffer alive until the pairs referencing
+// them are spilled, shipped, or reduced; the buffer is then collected.
+// The shrinking happens via GC, which is what GOMEMLIMIT-bounded runs
+// rely on.)
+//
+// File splits do not implement MorselSplit — carving would require every
+// block in memory at planning time, defeating the streaming. Morsel mode
+// degrades to block granularity for them, per the MorselSplit contract.
+func NewFileInput(path string, blockSize int) (Input, error) {
+	if blockSize < 16 {
+		return nil, fmt.Errorf("mr: block size %d too small", blockSize)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fileInput{path: path, blockSize: blockSize, size: fi.Size()}, nil
+}
+
+type fileInput struct {
+	path      string
+	blockSize int
+	size      int64
+}
+
+func (in *fileInput) Splits() ([]Split, error) {
+	var out []Split
+	for off, idx := int64(0), 0; off < in.size; off, idx = off+int64(in.blockSize), idx+1 {
+		n := in.size - off
+		if n > int64(in.blockSize) {
+			n = int64(in.blockSize)
+		}
+		out = append(out, &fileSplit{path: in.path, index: idx, off: off, n: int(n)})
+	}
+	if len(out) == 0 { // empty file: one empty split, like NewMemoryInput
+		out = append(out, &fileSplit{path: in.path})
+	}
+	return out, nil
+}
+
+type fileSplit struct {
+	path  string
+	index int
+	off   int64
+	n     int
+}
+
+func (sp *fileSplit) Label() string    { return fmt.Sprintf("%s[%d]", sp.path, sp.index) }
+func (sp *fileSplit) SizeBytes() int64 { return int64(sp.n) }
+
+// Open reads the split's block into a fresh buffer and returns a frame
+// iterator over it. The buffer is owned by the iterator's consumers:
+// records handed out alias it, so it stays reachable while anything
+// downstream still references those bytes and is collected afterwards.
+func (sp *fileSplit) Open() (RecordIter, error) {
+	if sp.n == 0 {
+		return &dfsIter{fr: recio.NewFrameReader(nil)}, nil
+	}
+	f, err := os.Open(sp.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, sp.n)
+	if _, err := f.ReadAt(buf, sp.off); err != nil {
+		return nil, fmt.Errorf("mr: read %s: %w", sp.Label(), err)
+	}
+	return &dfsIter{fr: recio.NewFrameReader(buf)}, nil
+}

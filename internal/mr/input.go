@@ -70,6 +70,10 @@ func (it *memoryIter) Next() ([]byte, bool, error) {
 	return r, true, nil
 }
 
+// Close releases nothing: the records belong to the caller of
+// NewMemoryInput. Present to satisfy the RecordIter single-use contract.
+func (it *memoryIter) Close() error { return nil }
+
 // Morsels carves the split's records into contiguous runs of whole
 // records, each targeting targetBytes (the tail may be smaller). Runs
 // alias the parent's record slices.
@@ -147,7 +151,16 @@ func (sp *dfsSplit) Open() (RecordIter, error) {
 	return &dfsIter{fr: recio.NewFrameReader(data)}, nil
 }
 
-func (it *dfsIter) Next() ([]byte, bool, error) { return it.fr.Next() }
+func (it *dfsIter) Next() ([]byte, bool, error) {
+	if it.fr == nil { // closed
+		return nil, false, nil
+	}
+	return it.fr.Next()
+}
+
+// Close drops the iterator's reference to the block's shared in-memory
+// backing (the dfs cache owns the bytes; nothing to release here).
+func (it *dfsIter) Close() error { it.fr = nil; return nil }
 
 // Morsels carves the block into frame runs of ~targetBytes. The block is
 // read once here — dfs blocks are shared in-memory backing, so the runs

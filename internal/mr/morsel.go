@@ -157,25 +157,8 @@ func runMorselWorker(ctx context.Context, w int, d *morselDispatcher, mapFn MapF
 			return err
 		}
 		st.BytesRead += item.sp.SizeBytes()
-		for {
-			rec, ok, err := it.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				break
-			}
-			st.Records++
-			if st.Records&(cancelCheckStride-1) == 0 {
-				select {
-				case <-done:
-					return ctx.Err()
-				default:
-				}
-			}
-			if err := mapFn(mctx, rec); err != nil {
-				return err
-			}
+		if err := scanRecords(ctx, it, mapFn, mctx, st); err != nil {
+			return err
 		}
 	}
 	if comb != nil {

@@ -20,14 +20,18 @@
 // allocates nothing per pair. String-keyed entry points survive as
 // explicit compatibility shims (EmitString and friends).
 //
-// Execution is synchronous per call — RunContext executes the whole job
-// and returns its output and statistics — but the goroutines doing the
-// work come from a shared exec.Executor (Config.Executor), so any number
-// of concurrent RunContext calls multiplex over one bounded pool. The
-// context cancels the whole pipeline: senders unblock, collectors drain
-// and close, spill runs are reclaimed, and RunContext returns an error
-// satisfying errors.Is(err, context.Canceled). Run is the
-// context.Background() compatibility wrapper.
+// Execution is streaming: RunPipe starts the job and returns a Pipe —
+// a single-use iterator over the output pairs that yields each reduce
+// task's records as it emits them, concurrently with the rest of the
+// reduce phase (per-reducer readiness replaces the global
+// collect→reduce barrier). RunContext is the materializing wrapper
+// (drain the Pipe into one Result slice); Run the context.Background()
+// wrapper on top of that. The goroutines doing the work come from a
+// shared exec.Executor (Config.Executor), so any number of concurrent
+// jobs multiplex over one bounded pool. The context cancels the whole
+// pipeline: senders unblock, collectors drain and close, spill runs are
+// reclaimed, and the job's error satisfies errors.Is(err,
+// context.Canceled).
 package mr
 
 import (
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"github.com/casm-project/casm/internal/exec"
+	"github.com/casm-project/casm/internal/iterx"
 	"github.com/casm-project/casm/internal/transport"
 )
 
@@ -85,6 +90,12 @@ type TaskStats struct {
 	EvalArenaBytes  int64 // high-water footprint of the evaluator session's arenas
 	AggPoolHits     int64 // aggregators served by the session pool instead of a fresh allocation
 	WindowLookups   int64 // sibling-window probes during sliding-measure evaluation
+
+	// CollectDone is when this reducer's shuffle drain completed,
+	// relative to the job's start — the moment its reduce task became
+	// runnable under per-reducer readiness. Observability only: never
+	// priced by the cost model, never serialized by the figures pipeline.
+	CollectDone time.Duration
 }
 
 // JobStats aggregates a run's counters.
@@ -93,6 +104,18 @@ type JobStats struct {
 	ReduceTasks []TaskStats
 	Shuffled    int64
 	Wall        time.Duration
+
+	// Stage timestamps, relative to the job's start. Observability for
+	// the pipelined data plane — the cost model prices neither, and the
+	// figures pipeline never serializes them (simulated seconds stay a
+	// pure function of the priced counters).
+	//
+	// MapDone is when the last map task finished; FirstOutput when the
+	// first output batch reached the job's result stream (zero if the job
+	// produced no output). FirstOutput < MapDone demonstrates pipelining:
+	// output flowed while map tasks were still running.
+	MapDone     time.Duration
+	FirstOutput time.Duration
 }
 
 // TotalOutputRecords sums the reducers' emitted records.
@@ -104,12 +127,12 @@ func (s JobStats) TotalOutputRecords() int64 {
 	return n
 }
 
-// RecordIter yields the raw records of one split.
-type RecordIter interface {
-	// Next returns the next record; the returned slice is only valid
-	// until the following call.
-	Next() ([]byte, bool, error)
-}
+// RecordIter yields the raw records of one split: a single-use iterx
+// stream of record byte-slices, each only valid until the following Next
+// (or Close). The framework closes every iterator it opens, including on
+// error paths, so sources may tie resources (block buffers, descriptors)
+// to the iterator's lifetime.
+type RecordIter = iterx.Iter[[]byte]
 
 // Split is one independently processable chunk of input.
 type Split interface {
@@ -169,8 +192,11 @@ func (c *MapCtx) Emit(key, value []byte) error { return c.emit(key, value) }
 
 // EmitString is the string-keyed compatibility wrapper around Emit; the
 // key bytes of a Go string are immutable and so always satisfy Emit's
-// ownership rule. It is slated for removal once its callers migrate
-// (see DESIGN.md); hot paths should call Emit with byte-slice keys.
+// ownership rule.
+//
+// Deprecated: call Emit with byte-slice keys; this wrapper allocates a
+// key copy per pair. It is retained for external compatibility only —
+// no internal caller remains.
 func (c *MapCtx) EmitString(key string, value []byte) error {
 	return c.emit([]byte(key), value)
 }
@@ -232,9 +258,11 @@ func (c *ReduceCtx) Emit(key, value []byte) {
 	c.emit(append([]byte(nil), key...), value)
 }
 
-// EmitString is the string-keyed compatibility wrapper around Emit,
-// slated for removal once its callers migrate (see DESIGN.md); hot paths
-// should call Emit with byte-slice keys.
+// EmitString is the string-keyed compatibility wrapper around Emit.
+//
+// Deprecated: call Emit with byte-slice keys; this wrapper allocates a
+// key copy per record. It is retained for external compatibility only —
+// no internal caller remains.
 func (c *ReduceCtx) EmitString(key string, value []byte) {
 	c.Stats.OutputRecords++
 	c.emit([]byte(key), value)

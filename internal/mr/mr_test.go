@@ -219,7 +219,7 @@ func TestGroupByCompositeKey(t *testing.T) {
 		Input: NewMemoryInput(records, 1),
 		Map: func(ctx *MapCtx, record []byte) error {
 			for _, k := range []string{"b|3", "a|2", "b|1", "a|1", "b|2"} {
-				if err := ctx.EmitString(k, []byte(k)); err != nil {
+				if err := ctx.Emit([]byte(k), []byte(k)); err != nil {
 					return err
 				}
 			}
@@ -387,7 +387,7 @@ func TestDFSInputEndToEnd(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			return ctx.EmitString(fmt.Sprintf("g%d", rec[0]), []byte("1"))
+			return ctx.Emit(fmt.Appendf(nil, "g%d", rec[0]), []byte("1"))
 		},
 		Reduce: func(ctx *ReduceCtx, key []byte, values *GroupIter) error {
 			n := 0

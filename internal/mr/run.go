@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/casm-project/casm/internal/exec"
@@ -20,21 +21,197 @@ import (
 // latency to microseconds of extra work.
 const cancelCheckStride = 1024
 
+// outputBatchPairs is how many output pairs a reduce task buffers before
+// handing them to the job's output stream as one batch: large enough to
+// amortize the channel operation, small enough that the first results
+// reach the consumer while the reduce phase is still running.
+const outputBatchPairs = 256
+
 // Run executes the job to completion under context.Background(); it is
 // the compatibility wrapper around RunContext for callers without a
 // cancellation story.
 func Run(job Job) (*Result, error) { return RunContext(context.Background(), job) }
 
 // RunContext executes the job to completion on cfg.Executor's shared
-// worker pool and returns its output and counters. Cancelling ctx tears
-// the pipeline down promptly — blocked shuffle sends unblock, spill and
-// merge loops abort, collectors drain the transport and release their
-// spill runs — and RunContext returns an error satisfying
-// errors.Is(err, context.Canceled). When tasks fail, every real failure
-// is reported (errors.Join), each prefixed with its task identity; the
-// first real failure also cancels the job's context so sibling tasks
-// abort instead of running a doomed job to completion.
+// worker pool and returns its output and counters. It is the
+// materializing wrapper around RunPipe: the streamed output batches are
+// assembled into Result.Output in per-reducer order (reducer 0's records
+// first, each reducer's in emit order), the order the barrier
+// implementation produced. Cancelling ctx tears the pipeline down
+// promptly — blocked shuffle sends unblock, spill and merge loops abort,
+// collectors drain the transport and release their spill runs — and
+// RunContext returns an error satisfying errors.Is(err,
+// context.Canceled). When tasks fail, every real failure is reported
+// (errors.Join), each prefixed with its task identity; the first real
+// failure also cancels the job's context so sibling tasks abort instead
+// of running a doomed job to completion.
 func RunContext(ctx context.Context, job Job) (*Result, error) {
+	p, err := RunPipe(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	outputs := make([][]transport.Pair, p.numReducers)
+	for {
+		r, pairs, ok, err := p.NextBatch()
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		outputs[r] = append(outputs[r], pairs...)
+		transport.RecycleBatch(pairs)
+	}
+	if err := p.Close(); err != nil {
+		return nil, err
+	}
+	result := &Result{Stats: p.Stats()}
+	for _, out := range outputs {
+		result.Output = append(result.Output, out...)
+	}
+	return result, nil
+}
+
+// outBatch is one run of output pairs flushed by reduce task r.
+type outBatch struct {
+	r     int
+	pairs []transport.Pair
+}
+
+// Pipe is a running job's streaming output: a single-use iterator over
+// the output pairs, yielding each reduce task's records as soon as that
+// task emits them — concurrently with the rest of the reduce phase —
+// instead of after the whole job completes. It implements
+// iterx.Iter[transport.Pair] (Next + idempotent Close; see the iterx
+// package for the full single-use contract). Pipe is single-goroutine.
+//
+// Lifecycle: consume with Next (or NextBatch) until ok=false, then check
+// the error and call Close; or Close early to abandon the stream, which
+// cancels the job and tears it down exactly like cancelling the context
+// passed to RunPipe (tasks abort, spill runs are reclaimed, no
+// goroutines remain). Stats is valid after the stream has ended or Close
+// has returned.
+//
+// Ownership: yielded pairs carry the reduce functions' emitted key/value
+// bytes uncopied and stay valid indefinitely (they are not reused); the
+// []Pair batch slices from NextBatch are handed off to the caller, who
+// may pass them to transport.RecycleBatch once the pairs are consumed.
+type Pipe struct {
+	out         chan outBatch
+	cancel      context.CancelFunc
+	coordDone   chan struct{}
+	numReducers int
+
+	// Set by the coordinator before coordDone closes.
+	err   error
+	stats JobStats
+
+	// firstOut is the atomically stamped time of the first output batch
+	// handoff, in nanoseconds since the job started (+1 so a stamped
+	// zero-duration is distinguishable from "no output").
+	firstOut atomic.Int64
+
+	cur      []transport.Pair
+	i        int
+	finished bool
+	closed   bool
+}
+
+// NextBatch returns the next output batch and the reduce task that
+// emitted it. ok=false ends the stream; the returned error, if any, is
+// the job's (joined task failures, or the cancellation error). The batch
+// slice is handed off to the caller (see Pipe ownership).
+func (p *Pipe) NextBatch() (r int, pairs []transport.Pair, ok bool, err error) {
+	if p.finished || p.closed {
+		return 0, nil, false, nil
+	}
+	b, ok := <-p.out
+	if !ok {
+		p.finished = true
+		<-p.coordDone
+		return 0, nil, false, p.err
+	}
+	return b.r, b.pairs, true, nil
+}
+
+// Next yields the stream's pairs one at a time (iterx.Iter). Use either
+// Next or NextBatch on a given Pipe, not both.
+func (p *Pipe) Next() (transport.Pair, bool, error) {
+	for p.i >= len(p.cur) {
+		_, pairs, ok, err := p.NextBatch()
+		if err != nil || !ok {
+			return transport.Pair{}, false, err
+		}
+		p.cur, p.i = pairs, 0
+	}
+	pr := p.cur[p.i]
+	p.i++
+	return pr, true, nil
+}
+
+// Close tears the job down if it is still running (cancelling its
+// context), waits for every task to finish, and releases the stream.
+// Idempotent. A deliberate early Close is not an error: the resulting
+// context.Canceled is swallowed; real task failures that happened before
+// the cancellation are returned.
+func (p *Pipe) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	p.cancel()
+	for range p.out { // unblock producers until the coordinator closes the stream
+	}
+	<-p.coordDone
+	if p.err != nil && !isCancel(p.err) {
+		if p.finished {
+			return nil // Next already surfaced it
+		}
+		return p.err
+	}
+	return nil
+}
+
+func isCancel(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded || contextIs(err)
+}
+
+func contextIs(err error) bool {
+	type unwrapper interface{ Unwrap() []error }
+	switch e := err.(type) {
+	case interface{ Unwrap() error }:
+		return isCancel(e.Unwrap())
+	case unwrapper:
+		for _, u := range e.Unwrap() {
+			if !isCancel(u) {
+				return false
+			}
+		}
+		return len(e.Unwrap()) > 0
+	}
+	return false
+}
+
+// Stats returns the job's counters. Valid once the stream has ended
+// (Next/NextBatch returned ok=false) or Close has returned.
+func (p *Pipe) Stats() JobStats { return p.stats }
+
+// RunPipe starts the job on cfg.Executor's shared worker pool and
+// returns its streaming output. Validation, split enumeration, and
+// morsel carving run synchronously (so configuration errors surface
+// here); everything else — map phase, shuffle, per-reducer collection,
+// reduce phase — runs under a coordinator service task, and output pairs
+// flow to the returned Pipe as reduce tasks emit them.
+//
+// The reduce phase is pipelined per reducer: each reducer's shuffle
+// drain feeds its grouping collector incrementally, and its reduce task
+// is scheduled the moment its OWN stream closes, rather than behind a
+// global all-collectors barrier. A reducer whose senders finish early
+// therefore starts — and its first output rows reach the consumer —
+// while other reducers are still collecting (or, with a transport that
+// closes per-reducer streams early, while map tasks still run).
+func RunPipe(ctx context.Context, job Job) (*Pipe, error) {
 	cfg, err := job.Config.withDefaults()
 	if err != nil {
 		return nil, err
@@ -60,20 +237,45 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 			return nil, err
 		}
 	}
-	start := time.Now()
-
-	// jobCtx governs every task of this job; cancelJob is the teardown
-	// trigger shared by external cancellation and internal failure.
-	jobCtx, cancelJob := context.WithCancel(ctx)
-	defer cancelJob()
-	ex := cfg.Executor
-
 	var tr transport.Transport
 	if !cfg.ShuffleDisabled {
 		tr, err = cfg.Transport(cfg.NumReducers)
 		if err != nil {
 			return nil, fmt.Errorf("mr: transport: %w", err)
 		}
+	}
+
+	// jobCtx governs every task of this job; cancelJob is the teardown
+	// trigger shared by external cancellation, internal failure, and
+	// Pipe.Close.
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	p := &Pipe{
+		out:         make(chan outBatch, cfg.NumReducers),
+		cancel:      cancelJob,
+		coordDone:   make(chan struct{}),
+		numReducers: cfg.NumReducers,
+	}
+	// The coordinator is a service task (dedicated goroutine — it blocks
+	// on stage waits) owning the whole job lifecycle; its errors surface
+	// through the Pipe, not a group Wait.
+	coord := cfg.Executor.NewGroup(jobCtx, exec.Options{})
+	coord.GoService("mr: job coordinator", func(tctx context.Context) error {
+		defer close(p.coordDone)
+		defer cancelJob()
+		p.stats, p.err = runJob(tctx, job, cfg, splits, morselItems, morselOwners, tr, cancelJob, p)
+		close(p.out)
+		return nil
+	})
+	return p, nil
+}
+
+// runJob executes the job's stages under the coordinator. It returns
+// whatever stats were gathered even on failure (callers discard them as
+// needed).
+func runJob(jobCtx context.Context, job Job, cfg Config, splits []Split, morselItems []morselItem, morselOwners []int, tr transport.Transport, cancelJob context.CancelFunc, p *Pipe) (JobStats, error) {
+	start := time.Now()
+	ex := cfg.Executor
+	if tr != nil {
 		defer tr.Close()
 	}
 
@@ -97,6 +299,12 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 			}
 		}
 	}()
+	// reduceGroup exists before the collectors because they schedule onto
+	// it: the collect service task for reducer r submits reduce task r the
+	// moment its drain completes (per-reducer readiness — the pipelined
+	// reduce), so a reducer never waits behind other reducers' shuffle
+	// streams.
+	reduceGroup := ex.NewGroup(jobCtx, exec.Options{Limit: cfg.ReduceParallelism, OnError: cancelJob})
 	collectGroup := ex.NewGroup(jobCtx, exec.Options{OnError: cancelJob})
 	if !cfg.ShuffleDisabled {
 		for r := 0; r < cfg.NumReducers; r++ {
@@ -108,7 +316,17 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 				collectors[r] = groupx.NewSortContext(jobCtx, pairCodec{}, cfg.TempDir, cfg.SortMemoryItems)
 			}
 			collectGroup.GoService(fmt.Sprintf("mr: collect reduce-%d", r), func(tctx context.Context) error {
-				return drainShuffle(tctx, tr, r, collectors[r], &reduceStats[r], cancelJob)
+				if err := drainShuffle(tctx, tr, r, collectors[r], &reduceStats[r], cancelJob); err != nil {
+					return err
+				}
+				reduceStats[r].CollectDone = time.Since(start)
+				// This reducer's stream is complete: hand its collector to a
+				// reduce task now, without waiting for sibling drains.
+				reduceGroup.Go(fmt.Sprintf("mr: reduce task %d", r), &reduceStats[r].Timing, func(tctx context.Context) error {
+					w := &outputWriter{ctx: tctx, ch: p.out, r: r, start: start, first: &p.firstOut}
+					return runReduceTask(tctx, job.Reduce, collectors[r], &reduceStats[r], cfg, w)
+				})
+				return nil
 			})
 		}
 	}
@@ -150,44 +368,77 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 
 	var jobErrs exec.ErrorCollector
 	jobErrs.Add("", mapGroup.Wait())
+	stats := JobStats{MapDone: time.Since(start)}
 	if tr != nil {
 		// CloseSend must run even when the job is cancelled or the map
 		// phase failed: it closes the receive side, which is what lets the
 		// collectors' drain loops terminate.
 		jobErrs.Add("mr: close shuffle", tr.CloseSend(jobCtx))
 		jobErrs.Add("", collectGroup.Wait())
-	}
-	if err := jobErrs.Err(); err != nil {
-		return nil, err
+		// Reduce tasks were scheduled per reducer as drains completed;
+		// wait for them unconditionally (on failure they abort against the
+		// cancelled context) so no task outlives the job.
+		jobErrs.Add("", reduceGroup.Wait())
 	}
 
-	result := &Result{Stats: JobStats{MapTasks: mapStats, ReduceTasks: reduceStats}}
+	stats.MapTasks = mapStats
+	stats.ReduceTasks = reduceStats
 	if tr != nil {
-		result.Stats.Shuffled = tr.BytesSent()
+		stats.Shuffled = tr.BytesSent()
 	}
 	if cfg.ShuffleDisabled {
-		result.Stats.Wall = time.Since(start)
-		result.Stats.ReduceTasks = nil
-		return result, nil
+		stats.ReduceTasks = nil
 	}
+	if ns := p.firstOut.Load(); ns > 0 {
+		stats.FirstOutput = time.Duration(ns - 1)
+	}
+	stats.Wall = time.Since(start)
+	return stats, jobErrs.Err()
+}
 
-	// Reduce phase: process each reducer's sorted stream group by group.
-	outputs := make([][]transport.Pair, cfg.NumReducers)
-	reduceGroup := ex.NewGroup(jobCtx, exec.Options{Limit: cfg.ReduceParallelism, OnError: cancelJob})
-	for r := 0; r < cfg.NumReducers; r++ {
-		r := r
-		reduceGroup.Go(fmt.Sprintf("mr: reduce task %d", r), &reduceStats[r].Timing, func(tctx context.Context) error {
-			return runReduceTask(tctx, job.Reduce, collectors[r], &reduceStats[r], cfg, &outputs[r])
-		})
+// outputWriter buffers one reduce task's emitted pairs and flushes them
+// to the job's output stream in outputBatchPairs-sized batches. The send
+// selects against the job context so an emitting reduce task unblocks
+// when the job is cancelled (including by Pipe.Close). Errors latch: the
+// first failed flush stops the writer and is returned by the reduce
+// task.
+type outputWriter struct {
+	ctx   context.Context
+	ch    chan<- outBatch
+	r     int
+	start time.Time
+	first *atomic.Int64
+	buf   []transport.Pair
+	err   error
+}
+
+func (w *outputWriter) emit(key, value []byte) {
+	if w.err != nil {
+		return
 	}
-	if err := reduceGroup.Wait(); err != nil {
-		return nil, err
+	if w.buf == nil {
+		w.buf = transport.GetBatch(outputBatchPairs)
 	}
-	for _, out := range outputs {
-		result.Output = append(result.Output, out...)
+	w.buf = append(w.buf, transport.Pair{Key: key, Value: value})
+	if len(w.buf) >= outputBatchPairs {
+		w.flush()
 	}
-	result.Stats.Wall = time.Since(start)
-	return result, nil
+}
+
+func (w *outputWriter) flush() {
+	if w.err != nil || len(w.buf) == 0 {
+		return
+	}
+	b := outBatch{r: w.r, pairs: w.buf}
+	w.buf = nil
+	select {
+	case w.ch <- b:
+		if w.first.Load() == 0 {
+			w.first.CompareAndSwap(0, int64(time.Since(w.start))+1)
+		}
+	case <-w.ctx.Done():
+		w.err = w.ctx.Err()
+	}
 }
 
 // drainShuffle moves one reducer's shuffle stream into its collector. It
@@ -195,6 +446,9 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 // senders on a full transport forever — but stops *collecting* at the
 // first Add error or once the job is cancelled, and cancels the job on an
 // Add failure so map tasks stop producing into a doomed shuffle.
+// Consumed batch slices are recycled into the transport batch pool (the
+// pairs' key/value bytes live on; the slice itself is dead once its
+// pairs are in the collector).
 func drainShuffle(ctx context.Context, tr transport.Transport, r int, coll groupx.Collector, st *TaskStats, cancelJob context.CancelFunc) error {
 	done := ctx.Done()
 	var addErr error
@@ -218,6 +472,7 @@ func drainShuffle(ctx context.Context, tr transport.Transport, r int, coll group
 				cancelJob()
 			}
 		}
+		transport.RecycleBatch(batch)
 	}
 	return addErr
 }
@@ -247,6 +502,35 @@ func runMapTask(ctx context.Context, mapFn MapFunc, sp Split, st *TaskStats, cfg
 		return nil
 	}
 	return fmt.Errorf("giving up after %d attempts: %w", cfg.MaxAttempts, lastErr)
+}
+
+// scanRecords pulls one record iterator dry through the map function,
+// closing it on every path (record iterators are single-use and may hold
+// resources — a packed-file split's block buffer, for instance).
+func scanRecords(ctx context.Context, it RecordIter, mapFn MapFunc, mctx *MapCtx, st *TaskStats) error {
+	defer it.Close()
+	done := ctx.Done()
+	for {
+		rec, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		st.Records++
+		if st.Records&(cancelCheckStride-1) == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if err := mapFn(mctx, rec); err != nil {
+			return err
+		}
+	}
+	return it.Close()
 }
 
 func mapOnce(ctx context.Context, mapFn MapFunc, sp Split, st *TaskStats, cfg Config, tr transport.Transport) error {
@@ -298,26 +582,8 @@ func mapOnce(ctx context.Context, mapFn MapFunc, sp Split, st *TaskStats, cfg Co
 	if cfg.NewMapLocal != nil {
 		mctx.Local = cfg.NewMapLocal(st)
 	}
-	done := ctx.Done()
-	for {
-		rec, ok, err := it.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		st.Records++
-		if st.Records&(cancelCheckStride-1) == 0 {
-			select {
-			case <-done:
-				return ctx.Err()
-			default:
-			}
-		}
-		if err := mapFn(mctx, rec); err != nil {
-			return err
-		}
+	if err := scanRecords(ctx, it, mapFn, mctx, st); err != nil {
+		return err
 	}
 	if comb != nil {
 		if err := comb.Flush(send); err != nil {
@@ -333,7 +599,7 @@ func mapOnce(ctx context.Context, mapFn MapFunc, sp Split, st *TaskStats, cfg Co
 	return nil
 }
 
-func runReduceTask(ctx context.Context, reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cfg Config, out *[]transport.Pair) error {
+func runReduceTask(ctx context.Context, reduceFn ReduceFunc, coll groupx.Collector, st *TaskStats, cfg Config, w *outputWriter) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -347,11 +613,9 @@ func runReduceTask(ctx context.Context, reduceFn ReduceFunc, coll groupx.Collect
 	rctx := &ReduceCtx{
 		Stats:   st,
 		TempDir: cfg.TempDir,
-		emit: func(key, value []byte) {
-			// ReduceCtx.Emit already copied the key and hands off
-			// ownership of the value; no further copies needed.
-			*out = append(*out, transport.Pair{Key: key, Value: value})
-		},
+		// ReduceCtx.Emit already copied the key and hands off ownership
+		// of the value; the writer batches pairs onto the output stream.
+		emit: w.emit,
 	}
 	if cfg.NewReduceLocal != nil {
 		rctx.Local = cfg.NewReduceLocal(st)
@@ -390,7 +654,8 @@ func runReduceTask(ctx context.Context, reduceFn ReduceFunc, coll groupx.Collect
 	// Merge-path buffer reuses accumulate while iterating; refresh the
 	// counters now that the stream is drained.
 	fillGroupStats(st, coll.Stats())
-	return nil
+	w.flush()
+	return w.err
 }
 
 // fillGroupStats maps a collector's counters onto the task's. Grouped

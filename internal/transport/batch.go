@@ -44,7 +44,7 @@ func (w *BatchWriter) Send(r int, p Pair) error {
 		return w.tr.Send(w.ctx, r, p)
 	}
 	if w.bufs[r] == nil {
-		w.bufs[r] = make([]Pair, 0, w.size)
+		w.bufs[r] = GetBatch(w.size)
 	}
 	w.bufs[r] = append(w.bufs[r], p)
 	if len(w.bufs[r]) >= w.size {

@@ -43,7 +43,7 @@ func TestBatchedEqualsPerPair(t *testing.T) {
 		rng := rand.New(rand.NewSource(int64(100 + s)))
 		ps := make([]Pair, pairsPerSender)
 		for i := range ps {
-			ps[i] = PairS(fmt.Sprintf("k%d", rng.Intn(50)), []byte(fmt.Sprintf("s%d-i%d", s, i)))
+			ps[i] = pairS(fmt.Sprintf("k%d", rng.Intn(50)), []byte(fmt.Sprintf("s%d-i%d", s, i)))
 		}
 		return ps
 	}
@@ -131,7 +131,7 @@ func TestSendBatchEmptyIsNoOp(t *testing.T) {
 	if err := tr.SendBatch(ctx, 0, []Pair{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.SendBatch(ctx, 0, []Pair{PairS("a", []byte("b"))}); err != nil {
+	if err := tr.SendBatch(ctx, 0, []Pair{pairS("a", []byte("b"))}); err != nil {
 		t.Fatal(err)
 	}
 	if err := tr.CloseSend(ctx); err != nil {
@@ -167,7 +167,7 @@ func TestBatchWriterCounts(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := bw.Send(1, PairS("k", nil)); err != nil { // reducer 1: 1 partial
+	if err := bw.Send(1, pairS("k", nil)); err != nil { // reducer 1: 1 partial
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {

@@ -14,7 +14,7 @@ func BenchmarkShuffleSubstrate(b *testing.B) {
 	const reducers = 4
 	pairs := make([]Pair, 100_000)
 	for i := range pairs {
-		pairs[i] = PairS(fmt.Sprintf("g%d", i%997), []byte(fmt.Sprintf("%d", i)))
+		pairs[i] = pairS(fmt.Sprintf("g%d", i%997), []byte(fmt.Sprintf("%d", i)))
 	}
 	for _, c := range []struct {
 		name    string

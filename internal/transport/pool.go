@@ -1,0 +1,46 @@
+package transport
+
+import "sync"
+
+// batchPool recycles the []Pair batch slices that carry pairs through
+// the shuffle and the job output stream. Batches are the data plane's
+// highest-volume allocation (one slice per 256 pairs, for the whole
+// job): pooling them turns the per-batch make into a near-free reuse.
+// Only the slices cycle through the pool — the Key/Value bytes the pairs
+// reference are never pooled and keep their documented job-lifetime
+// validity.
+var batchPool = sync.Pool{New: func() any { b := make([]Pair, 0, DefaultBatchPairs); return &b }}
+
+// DefaultBatchPairs sizes pooled batch slices; callers asking GetBatch
+// for at most this capacity always get a pooled slice back.
+const DefaultBatchPairs = 256
+
+// GetBatch returns an empty batch slice with capacity ≥ n, reusing a
+// recycled one when possible. The caller owns it until it is handed to
+// SendBatch (whereafter the receiver owns it) or RecycleBatch.
+func GetBatch(n int) []Pair {
+	p := batchPool.Get().(*[]Pair)
+	if cap(*p) >= n {
+		return (*p)[:0]
+	}
+	batchPool.Put(p)
+	return make([]Pair, 0, n)
+}
+
+// RecycleBatch returns a consumed batch slice to the pool. Callers must
+// have taken every pair they need out of ps first: the slice may be
+// reused for a later batch at any moment. Recycling is strictly optional
+// — batches that escape (held by a consumer, crossed a test boundary)
+// are simply collected by the GC. The pair structs are cleared so a
+// pooled slice does not pin the previous job's key/value bytes.
+func RecycleBatch(ps []Pair) {
+	if cap(ps) == 0 {
+		return
+	}
+	ps = ps[:cap(ps)]
+	for i := range ps {
+		ps[i] = Pair{}
+	}
+	ps = ps[:0]
+	batchPool.Put(&ps)
+}

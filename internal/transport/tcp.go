@@ -128,8 +128,10 @@ func NewTCP(numReducers, buffer int) (Transport, error) {
 }
 
 // readFrame reads one length-prefixed frame and decodes its pairs into a
-// batch slice. Key and Value slices alias the frame's payload buffer,
-// which is freshly allocated per frame and never reused.
+// batch slice (drawn from the batch pool — consumers recycle it once the
+// pairs are collected). Key and Value slices alias the frame's payload
+// buffer, which is freshly allocated per frame and never reused, so the
+// bytes stay valid for the job even after the slice is recycled.
 func readFrame(br *bufio.Reader) ([]Pair, error) {
 	payloadLen, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -146,7 +148,7 @@ func readFrame(br *bufio.Reader) ([]Pair, error) {
 	if off <= 0 {
 		return nil, fmt.Errorf("transport: corrupt frame header")
 	}
-	ps := make([]Pair, 0, count)
+	ps := GetBatch(int(count))
 	for i := uint64(0); i < count; i++ {
 		key, n, err := readChunk(buf, off)
 		if err != nil {

@@ -13,6 +13,12 @@ import (
 // behavior gets its own tests.
 var ctx = context.Background()
 
+// pairS builds a Pair from a string key; test convenience only (the
+// exported PairS shim is deprecated and has no internal callers).
+func pairS(key string, value []byte) Pair {
+	return Pair{Key: []byte(key), Value: value}
+}
+
 // exercise sends pairs from several concurrent "mappers" and verifies each
 // reducer receives exactly the pairs addressed to it.
 func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper int) {
@@ -55,7 +61,7 @@ func exercise(t *testing.T, factory Factory, reducers, mappers, pairsPerMapper i
 			for i := 0; i < pairsPerMapper; i++ {
 				a := addressed{
 					r: rng.Intn(reducers),
-					p: PairS(fmt.Sprintf("k%d", rng.Intn(10)), []byte(fmt.Sprintf("m%d-i%d", m, i))),
+					p: pairS(fmt.Sprintf("k%d", rng.Intn(10)), []byte(fmt.Sprintf("m%d-i%d", m, i))),
 				}
 				if err := tr.Send(ctx, a.r, a.p); err != nil {
 					t.Errorf("send: %v", err)
@@ -125,13 +131,13 @@ func TestSendAfterCloseFails(t *testing.T) {
 				for range tr.Receive(1) {
 				}
 			}()
-			if err := tr.Send(ctx, 0, PairS("a", []byte("b"))); err != nil {
+			if err := tr.Send(ctx, 0, pairS("a", []byte("b"))); err != nil {
 				t.Fatal(err)
 			}
 			if err := tr.CloseSend(ctx); err != nil {
 				t.Fatal(err)
 			}
-			if err := tr.Send(ctx, 0, PairS("a", nil)); err == nil {
+			if err := tr.Send(ctx, 0, pairS("a", nil)); err == nil {
 				t.Error("send after CloseSend succeeded")
 			}
 			if err := tr.CloseSend(ctx); err == nil {
@@ -161,7 +167,7 @@ func TestSendValidation(t *testing.T) {
 }
 
 func TestPairSize(t *testing.T) {
-	p := PairS("abc", []byte("defg"))
+	p := pairS("abc", []byte("defg"))
 	if p.Size() != 7 {
 		t.Errorf("size = %d", p.Size())
 	}
@@ -173,8 +179,8 @@ func TestChannelBytesSentExact(t *testing.T) {
 		for range tr.Receive(0) {
 		}
 	}()
-	tr.Send(ctx, 0, PairS("ab", []byte("cd")))
-	tr.Send(ctx, 0, PairS("x", nil))
+	tr.Send(ctx, 0, pairS("ab", []byte("cd")))
+	tr.Send(ctx, 0, pairS("x", nil))
 	if got := tr.BytesSent(); got != 5 {
 		t.Errorf("BytesSent = %d, want 5", got)
 	}
