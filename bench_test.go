@@ -316,6 +316,49 @@ func BenchmarkAblation_TransportChannelVsTCP(b *testing.B) {
 	b.ReportMetric(tcp*1000, "tcp_ms_real")
 }
 
+func BenchmarkSharedScan(b *testing.B) {
+	cfg := benchConfig(b)
+	var p *figures.SharedScan
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = figures.SharedScanPanel(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + p.Table().String())
+	// The PR's headline claims. (1) Every workload query shares the
+	// batch's single scan — one job, one geometry group — so the batch
+	// reads 1/6 of the sequential arm's input bytes, and its own counter
+	// accounts for the difference exactly.
+	if p.SharedQueries != len(p.Queries) || p.Jobs != 1 || p.Groups != 1 {
+		b.Errorf("shared %d/%d queries in %d jobs / %d geometry groups, want all %d in 1/1",
+			p.SharedQueries, len(p.Queries), p.Jobs, p.Groups, len(p.Queries))
+	}
+	if p.BatchBytes*int64(len(p.Queries)) != p.SeqBytes {
+		b.Errorf("batch read %d bytes for %d queries, sequential read %d — not proportional",
+			p.BatchBytes, len(p.Queries), p.SeqBytes)
+	}
+	if p.BytesSaved != p.SeqBytes-p.BatchBytes {
+		b.Errorf("SharedScanBytesSaved = %d, want %d", p.BytesSaved, p.SeqBytes-p.BatchBytes)
+	}
+	// (2) Batching the suite beats six sequential jobs by >=30% real wall
+	// clock.
+	if imp := p.WallImprovement(); imp < 0.30 {
+		b.Errorf("batched wall improvement = %.0f%%, want >= 30%%", 100*imp)
+	}
+	// (3) The decision cache amortizes repeat planning to ~0: warm plans
+	// must be several times cheaper than cold ones.
+	if p.PlanWarm > p.PlanCold/3 {
+		b.Errorf("warm plan %.3gms not < 1/3 of cold %.3gms", 1e3*p.PlanWarm, 1e3*p.PlanCold)
+	}
+	b.ReportMetric(p.SeqWall, "wall_seq_s")
+	b.ReportMetric(p.BatchWall, "wall_batch_s")
+	b.ReportMetric(100*p.WallImprovement(), "wall_improvement_pct")
+	b.ReportMetric(100*p.SimImprovement(), "sim_improvement_pct")
+	b.ReportMetric(p.PlanSpeedup(), "plan_cache_speedup")
+}
+
 func BenchmarkMorselSkew(b *testing.B) {
 	cfg := benchConfig(b)
 	var p *figures.MorselSkew

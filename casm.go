@@ -207,6 +207,35 @@ type Plan = optimizer.Plan
 // PlanCache remembers previously successful plans across queries.
 type PlanCache = optimizer.PlanCache
 
+// DecisionCache is a bounded keyed cache of finished plan decisions:
+// repeated submissions of an equivalent query over the same dataset skip
+// planning (including the sampling pass under SkewSampling) entirely.
+// Set one as Config.DecisionCache and share it across engines.
+type DecisionCache = optimizer.DecisionCache
+
+// DefaultDecisionCacheSize is the capacity NewDecisionCache(0) uses.
+const DefaultDecisionCacheSize = optimizer.DefaultDecisionCacheSize
+
+// NewDecisionCache returns an empty decision cache holding at most
+// capacity entries (0 = DefaultDecisionCacheSize), evicting the least
+// recently used.
+func NewDecisionCache(capacity int) *DecisionCache {
+	return optimizer.NewDecisionCache(capacity)
+}
+
+// Fingerprint returns the query's canonical workflow fingerprint: a
+// digest of the normalized measure DAG and schema, stable under measure
+// renaming and reordering. Equal fingerprints mean the queries are
+// equivalent for planning and caching purposes.
+func Fingerprint(q *Query) (string, error) { return workflow.Fingerprint(q) }
+
+// FingerprintCQL parses CQL text and returns its canonical workflow
+// fingerprint, so clients can key caches on query text without keeping
+// the parsed workflow around.
+func FingerprintCQL(schema *Schema, src string) (string, error) {
+	return cql.Fingerprint(schema, src)
+}
+
 // DeriveKey returns the minimal feasible distribution key for a query
 // (paper Theorems 1–2 and the OpConvert/OpCombine algorithms).
 func DeriveKey(q *Query) (DistributionKey, error) {
@@ -252,6 +281,14 @@ type Result = core.Result
 
 // MeasureRecord is one <region, value> output row.
 type MeasureRecord = core.MeasureRecord
+
+// BatchResult is a completed multi-query evaluation; see
+// Engine.EvaluateBatch.
+type BatchResult = core.BatchResult
+
+// BatchJobInfo describes one job a batch ran and which queries shared
+// it.
+type BatchJobInfo = core.BatchJobInfo
 
 // Cluster describes the simulated cluster used for response-time
 // estimates.

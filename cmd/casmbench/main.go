@@ -6,6 +6,7 @@
 //	casmbench -scale 2.5      # larger datasets
 //	casmbench -json           # machine-readable snapshot on stdout
 //	casmbench -morselskew     # add the morsel vs fixed-split comparison
+//	casmbench -sharedscan     # add the batched vs sequential multi-query comparison
 //	casmbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Panels execute real engine runs; the reported numbers are simulated
@@ -52,6 +53,11 @@ type snapshot struct {
 	// this Go process on this machine — tracked across PRs for the
 	// bounded-memory work, but never bit-guarded like simulated seconds.
 	Memory *memoryResult `json:"memory,omitempty"`
+	// SharedScan is the -sharedscan batched-vs-sequential comparison.
+	// Outside Panels for the same reason as MorselSkew: it studies a
+	// reproduction extension (multi-query shared-scan batching), not one
+	// of the paper's figures, and its wall-clock arms are host-dependent.
+	SharedScan *panelResult `json:"shared_scan,omitempty"`
 }
 
 // memoryResult is the allocation accounting bracket around one panel:
@@ -122,6 +128,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "data generation seed")
 		asJSON     = flag.Bool("json", false, "emit a machine-readable JSON snapshot instead of tables")
 		morselSkew = flag.Bool("morselskew", false, "also run the morsel vs fixed-split skew comparison")
+		sharedScan = flag.Bool("sharedscan", false, "also run the shared-scan batched vs sequential comparison")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -229,6 +236,27 @@ func main() {
 		} else {
 			fmt.Print(t.String())
 			fmt.Printf("(morselskew regenerated in %.1fs real time)\n\n", elapsed)
+		}
+	}
+
+	if *sharedScan {
+		start := time.Now()
+		p, err := figures.SharedScanPanel(ctx, cfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "casmbench: interrupted\n")
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "casmbench: sharedscan: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Seconds()
+		t := p.Table()
+		if *asJSON {
+			snap.SharedScan = &panelResult{Title: t.Title, RealSeconds: elapsed, Data: p}
+		} else {
+			fmt.Print(t.String())
+			fmt.Printf("(sharedscan regenerated in %.1fs real time)\n\n", elapsed)
 		}
 	}
 

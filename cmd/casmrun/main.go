@@ -7,8 +7,13 @@
 //	casmrun -data data.casm -query q5 -cf 10 -sort combined
 //	casmrun -data data.casm -query ds0 -early on
 //	casmrun -data data.casm -query q5 -skew sampling -tcp
+//	casmrun -data data.casm -batch q1,q2,q6
 //
 // Queries: q1..q6 (Section VI), ds0..ds2 (early-aggregation study).
+// With -batch, the named queries are evaluated in one EvaluateBatch call:
+// compatible queries share a single input scan (and, when their plans
+// agree on block geometry, the shuffle too), with per-query answers
+// identical to running them one at a time.
 package main
 
 import (
@@ -67,6 +72,7 @@ func run() error {
 		morselB  = flag.Int("morselbytes", 0, "morsel size in bytes (implies -morsel; 0 with -morsel = default size)")
 		localAgg = flag.Int("localagg", 0, "morsel workers' thread-local pre-aggregation budget in distinct states (0 = default)")
 		stream   = flag.Bool("stream", false, "bounded-memory mode: stream splits off disk and rows to the sink, never materializing dataset or result")
+		batchStr = flag.String("batch", "", "comma-separated queries (e.g. q1,q2,q6) evaluated as one shared-scan batch (overrides -query)")
 	)
 	flag.Parse()
 
@@ -78,14 +84,33 @@ func run() error {
 
 	su := workload.NewSuite()
 	var q *casm.Query
+	var batchQs []*casm.Query
+	var batchNames []string
 	var err error
-	if *cqlPath != "" {
+	switch {
+	case *batchStr != "":
+		if *stream {
+			return fmt.Errorf("-batch runs materialized jobs; drop -stream")
+		}
+		if *savePath != "" {
+			return fmt.Errorf("-save works on a single query; drop -batch")
+		}
+		for _, n := range strings.Split(*batchStr, ",") {
+			n = strings.TrimSpace(n)
+			bq, berr := pickQuery(su, n)
+			if berr != nil {
+				return berr
+			}
+			batchQs = append(batchQs, bq)
+			batchNames = append(batchNames, strings.ToLower(n))
+		}
+	case *cqlPath != "":
 		src, rerr := os.ReadFile(*cqlPath)
 		if rerr != nil {
 			return rerr
 		}
 		q, err = casm.ParseQuery(su.Schema, string(src))
-	} else {
+	default:
 		q, err = pickQuery(su, *queryStr)
 	}
 	if err != nil {
@@ -172,15 +197,18 @@ func run() error {
 	}
 	fmt.Printf("dataset: %d records (%d bytes)\n", len(records), len(data))
 	ds := core.MemoryDataset(su.Schema, records, 4**reducers)
+	if len(batchQs) > 0 {
+		return runBatch(ctx, eng, su, batchQs, batchNames, ds, *values)
+	}
 	res, err := eng.EvaluateContext(ctx, q, ds)
 	if err != nil {
 		return err
 	}
 
 	fmt.Println(q.Explain())
-	fmt.Printf("plan: key=%s cf=%d blocks=%d (sampled=%v cached early-agg=%v)\n",
+	fmt.Printf("plan: key=%s cf=%d blocks=%d (sampled=%v cached=%v early-agg=%v)\n",
 		res.Plan.Key.Format(su.Schema), res.Plan.ClusteringFactor, res.Plan.Blocks,
-		res.SampledPlan, res.EarlyAggregated)
+		res.SampledPlan, res.PlanCached, res.EarlyAggregated)
 
 	names := make([]string, 0, len(res.Measures))
 	for n := range res.Measures {
@@ -219,6 +247,79 @@ func run() error {
 		fmt.Printf("saved %d measure records to %s (%d bytes)\n", res.TotalRecords(), *savePath, len(data))
 	}
 	return nil
+}
+
+// runBatch evaluates the named queries as one EvaluateBatch call and
+// prints, per job, which queries shared its scan and shuffle, then the
+// usual per-query result summary.
+func runBatch(ctx context.Context, eng *casm.Engine, su *workload.Suite, qs []*casm.Query, names []string, ds *casm.Dataset, show int) error {
+	batch, err := eng.EvaluateBatchContext(ctx, qs, ds)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("batch: %d queries, %d job(s), %d served from shared scans\n",
+		len(qs), len(batch.Jobs), batch.SharedScanQueries())
+	for ji, job := range batch.Jobs {
+		members := make([]string, len(job.Queries))
+		for i, qi := range job.Queries {
+			members[i] = names[qi]
+		}
+		if !job.Shared {
+			fmt.Printf("job %d: %s (unshared)\n", ji, strings.Join(members, ","))
+			continue
+		}
+		groups := make([]string, len(job.Groups))
+		for gi, g := range job.Groups {
+			gnames := make([]string, len(g))
+			for i, qi := range g {
+				gnames[i] = names[qi]
+			}
+			groups[gi] = "{" + strings.Join(gnames, ",") + "}"
+		}
+		fmt.Printf("job %d: %s shared one scan; geometry groups (shared shuffle): %s\n",
+			ji, strings.Join(members, ","), strings.Join(groups, " "))
+		var saved int64
+		for _, t := range job.Stats.MapTasks {
+			saved += t.SharedScanBytesSaved
+		}
+		fmt.Printf("job %d: %.1f MB input scanned once, %.1f MB of re-reads avoided\n",
+			ji, float64(jobBytesRead(job.Stats))/(1<<20), float64(saved)/(1<<20))
+	}
+
+	for qi, res := range batch.Results {
+		fmt.Printf("\nquery %s:\n", names[qi])
+		fmt.Printf("plan: key=%s cf=%d blocks=%d (sampled=%v cached=%v early-agg=%v)\n",
+			res.Plan.Key.Format(su.Schema), res.Plan.ClusteringFactor, res.Plan.Blocks,
+			res.SampledPlan, res.PlanCached, res.EarlyAggregated)
+		mnames := make([]string, 0, len(res.Measures))
+		for n := range res.Measures {
+			mnames = append(mnames, n)
+		}
+		sort.Strings(mnames)
+		for _, n := range mnames {
+			ms := res.Measures[n]
+			fmt.Printf("measure %-10s %8d records\n", n, len(ms))
+			for i := 0; i < show && i < len(ms); i++ {
+				fmt.Printf("  %s = %g\n", su.Schema.FormatRegion(ms[i].Region), ms[i].Value)
+			}
+		}
+	}
+	var sim float64
+	for _, job := range batch.Jobs {
+		sim += job.Estimate.Total()
+	}
+	fmt.Printf("\nsimulated response time on the paper's cluster (all %d job(s)): %.2fs\n",
+		len(batch.Jobs), sim)
+	return nil
+}
+
+func jobBytesRead(js mr.JobStats) int64 {
+	var n int64
+	for _, t := range js.MapTasks {
+		n += t.BytesRead
+	}
+	return n
 }
 
 // runStream is the bounded-memory sink: rows flow from the reducers to

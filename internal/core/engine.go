@@ -145,6 +145,14 @@ type Config struct {
 	Cluster costmodel.Cluster
 	// Cache, when non-nil, reuses previously successful plans (Section V).
 	Cache *optimizer.PlanCache
+	// DecisionCache, when non-nil, memoizes complete optimizer decisions
+	// under the canonical workflow fingerprint + dataset identity +
+	// planning knobs, so a repeated (or structurally identical) query
+	// skips candidate enumeration, scoring, and skew sampling entirely.
+	// Forced overrides (ForceKey/ForceCF) bypass it. Distinct from Cache:
+	// that one matches by key generalization and still re-scores; a
+	// decision-cache hit re-plans nothing.
+	DecisionCache *optimizer.DecisionCache
 	// Seed drives sampling.
 	Seed int64
 	// FailureInjector, when non-nil, is invoked at each map-task start
@@ -187,6 +195,13 @@ type Dataset struct {
 	// NumRecords is the dataset cardinality (the optimizer's N). When 0,
 	// the engine counts records with one extra scan.
 	NumRecords int64
+	// Tag optionally names the dataset for the decision cache (a file
+	// path, a snapshot id). Under SkewNone the chosen plan is a pure
+	// function of (workflow, N, planning knobs), so an empty Tag is safe;
+	// under SkewSampling the sampled records influence the decision, and
+	// distinct datasets sharing a schema and cardinality should carry
+	// distinct Tags to keep their cached decisions apart.
+	Tag string
 }
 
 // MeasureRecord is one <region, value> result.
@@ -213,6 +228,10 @@ type Result struct {
 	// SampleSeconds is the simulated cost of the sampling pass (0 when
 	// sampling is off); the paper reports ~10 s per dataset.
 	SampleSeconds float64
+	// PlanCached indicates the whole planning decision came from the
+	// keyed decision cache (Config.DecisionCache) — no optimizer work,
+	// no sampling pass, was performed for this run.
+	PlanCached bool
 }
 
 // TotalRecords returns the total number of measure records.

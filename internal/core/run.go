@@ -27,6 +27,9 @@ type PlanOutcome struct {
 	Sampled       bool
 	FromCache     bool
 	SampleSeconds float64
+	// DecisionCached indicates the complete decision (not just a key/cf
+	// hint) came from Config.DecisionCache; no planning work ran at all.
+	DecisionCached bool
 }
 
 // Plan chooses the execution plan under context.Background(); see
@@ -59,6 +62,26 @@ func (e *Engine) PlanContext(ctx context.Context, w *workflow.Workflow, ds *Data
 		NumReducers:         e.cfg.NumReducers,
 		TotalRecords:        n,
 		MinBlocksPerReducer: e.cfg.MinBlocksPerReducer,
+	}
+
+	// The decision cache short-circuits everything below it: a hit hands
+	// back the complete prior decision (including a sampling-based one)
+	// keyed by the canonical workflow fingerprint, the dataset identity,
+	// and every knob that can change the outcome. Forced overrides bypass
+	// it — they are the caller insisting the optimizer's decision not be
+	// used, cached or otherwise.
+	decide := e.cfg.DecisionCache != nil && e.cfg.ForceKey == nil && e.cfg.ForceCF == 0
+	var decisionKey string
+	if decide {
+		fp, err := workflow.Fingerprint(w)
+		if err != nil {
+			return PlanOutcome{}, err
+		}
+		decisionKey = optimizer.DecisionKey(fp, ds.Tag, n, optCfg,
+			int(e.cfg.SkewMode), e.cfg.SampleSize, e.cfg.Seed)
+		if plan, sampled, ok := e.cfg.DecisionCache.Get(decisionKey); ok {
+			return PlanOutcome{Plan: plan, Sampled: sampled, FromCache: true, DecisionCached: true}, nil
+		}
 	}
 
 	if e.cfg.Cache != nil && e.cfg.ForceKey == nil {
@@ -127,6 +150,9 @@ func (e *Engine) PlanContext(ctx context.Context, w *workflow.Workflow, ds *Data
 	}
 	if e.cfg.Cache != nil {
 		e.cfg.Cache.Store(out.Plan.Key, out.Plan.ClusteringFactor)
+	}
+	if decide {
+		e.cfg.DecisionCache.Put(decisionKey, out.Plan, out.Sampled)
 	}
 	return out, nil
 }
@@ -439,6 +465,7 @@ func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, d
 		SampledPlan:     outcome.Sampled,
 		EarlyAggregated: js.early,
 		SampleSeconds:   outcome.SampleSeconds,
+		PlanCached:      outcome.DecisionCached,
 	}
 	// Output assembly is per record, so it probes instead of allocating:
 	// measure lookups go through an interned-name cache keyed by the raw
@@ -493,6 +520,11 @@ func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, d
 		return nil, err
 	}
 	out.Stats = pipe.Stats()
+	if outcome.DecisionCached && len(out.Stats.MapTasks) > 0 {
+		// One reused plan per job; stamped on the first map task so the
+		// jobwide sum reads "plans this job did not recompute".
+		out.Stats.MapTasks[0].PlanCacheHits = 1
+	}
 	// Batches arrive in reduce-completion order, but every measure's
 	// records are sorted by encoded coordinates below — a total order,
 	// since the ownership filter emits each region exactly once — so the
@@ -527,6 +559,10 @@ func EstimateFromStats(c costmodel.Cluster, js mr.JobStats) costmodel.Estimate {
 			MorselSteals:      t.MorselSteals,
 			LocalAggHits:      t.LocalAggHits,
 			LocalAggSpills:    t.LocalAggSpills,
+
+			PlanCacheHits:        t.PlanCacheHits,
+			SharedScanQueries:    t.SharedScanQueries,
+			SharedScanBytesSaved: t.SharedScanBytesSaved,
 		}
 	}
 	rw := make([]costmodel.ReduceWork, len(js.ReduceTasks))

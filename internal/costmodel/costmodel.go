@@ -95,6 +95,15 @@ type MapWork struct {
 	MorselSteals      int64 // of those, taken from another worker's deque
 	LocalAggHits      int64 // pairs absorbed by an existing thread-local partial state
 	LocalAggSpills    int64 // thread-local table overflow flushes
+
+	// Cross-query sharing counters, also priced at zero: a shared scan
+	// does not change what one task physically did (BytesRead, Records,
+	// PairsOut already count the real work) — these record what the scan
+	// was worth across queries, so the batching win shows up as fewer
+	// priced map tasks, not as a discounted per-task price.
+	PlanCacheHits        int64 // plans reused from the keyed decision cache
+	SharedScanQueries    int64 // queries served by this task's single scan
+	SharedScanBytesSaved int64 // input bytes not re-read thanks to sharing
 }
 
 // ReduceWork counts what one reduce task did. Zero-valued stages are

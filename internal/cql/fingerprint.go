@@ -1,0 +1,19 @@
+package cql
+
+import (
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/workflow"
+)
+
+// Fingerprint parses the CQL source and returns the canonical workflow
+// fingerprint of the result. Because the fingerprint is computed on the
+// parsed structure — not the text — reformatted, reordered, or renamed
+// variants of the same query all map to one fingerprint, which is what
+// lets the plan cache recognize a repeated query arriving as fresh text.
+func Fingerprint(schema *cube.Schema, src string) (string, error) {
+	w, err := Parse(schema, src)
+	if err != nil {
+		return "", err
+	}
+	return workflow.Fingerprint(w)
+}

@@ -1,0 +1,57 @@
+package cql
+
+import "testing"
+
+// TestFingerprintReformatInvariant pins the property the plan cache
+// depends on: the same query arriving as differently formatted or
+// differently named CQL text maps to one fingerprint, while a genuinely
+// different query does not.
+func TestFingerprintReformatInvariant(t *testing.T) {
+	s := testSchema(t)
+	base, err := Fingerprint(s, weblogCQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Whitespace, comments, and case-insensitive keywords.
+	reformatted := `
+-- same weblog query, reformatted
+measure m1 = median(pages) at (keyword:word, time:minute);
+measure m2 = median(ads) at (keyword:word, time:hour);
+measure m3 = ratio(m1, m2) at (keyword:word, time:minute);
+measure m4 = window avg(m3) over time(-9, 0) at (keyword:word, time:minute);
+`
+	if fp, err := Fingerprint(s, reformatted); err != nil || fp != base {
+		t.Errorf("reformatted query fingerprint = %s err %v, want %s", fp, err, base)
+	}
+
+	// Renamed measures: structurally identical, same fingerprint.
+	renamed := `
+MEASURE pages_med = MEDIAN(pages)  AT (keyword:word, time:minute);
+MEASURE ads_med   = MEDIAN(ads)    AT (keyword:word, time:hour);
+MEASURE rate      = RATIO(pages_med, ads_med) AT (keyword:word, time:minute);
+MEASURE trend     = WINDOW AVG(rate) OVER time(-9, 0) AT (keyword:word, time:minute);
+`
+	if fp, err := Fingerprint(s, renamed); err != nil || fp != base {
+		t.Errorf("renamed query fingerprint = %s err %v, want %s", fp, err, base)
+	}
+
+	// A genuinely different query must not collide.
+	different := `
+MEASURE m1 = MEDIAN(pages) AT (keyword:word, time:minute);
+MEASURE m2 = MEDIAN(ads)   AT (keyword:word, time:hour);
+`
+	if fp, err := Fingerprint(s, different); err != nil || fp == base {
+		t.Errorf("different query collided with the weblog fingerprint (err %v)", err)
+	}
+
+	// Round-trip through the printer: Format output re-fingerprints to
+	// the same value.
+	w, err := Parse(s, weblogCQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp, err := Fingerprint(s, Format(w)); err != nil || fp != base {
+		t.Errorf("printer round-trip fingerprint = %s err %v, want %s", fp, err, base)
+	}
+}

@@ -84,6 +84,9 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.MorselSteals *= rep
 		t.LocalAggHits *= rep
 		t.LocalAggSpills *= rep
+		t.PlanCacheHits *= rep
+		t.SharedScanQueries *= rep
+		t.SharedScanBytesSaved *= rep
 		out.MapTasks = append(out.MapTasks, t)
 	}
 	for _, t := range js.ReduceTasks {

@@ -17,8 +17,8 @@
 // The record data plane is byte-keyed end to end: keys travel as []byte
 // from MapCtx.Emit through the shuffle, the reducer's grouping collector,
 // and GroupIter without ever materializing a Go string, so the hot path
-// allocates nothing per pair. String-keyed entry points survive as
-// explicit compatibility shims (EmitString and friends).
+// allocates nothing per pair. The string-keyed compatibility shims that
+// eased the migration (EmitString and friends) are gone.
 //
 // Execution is streaming: RunPipe starts the job and returns a Pipe —
 // a single-use iterator over the output pairs that yields each reduce
@@ -73,6 +73,11 @@ type TaskStats struct {
 	MorselSteals      int64 // of those, morsels stolen from another worker's deque
 	LocalAggHits      int64 // emitted pairs fully absorbed by an existing thread-local partial state
 	LocalAggSpills    int64 // thread-local table overflows flushed into the shuffle before morsel exhaustion
+
+	// Cross-query sharing counters (zero outside batched/cached runs).
+	PlanCacheHits        int64 // plans this job reused from the keyed decision cache instead of re-planning
+	SharedScanQueries    int64 // queries served by this task's single input scan (1 for an unshared job)
+	SharedScanBytesSaved int64 // input bytes NOT re-read thanks to sharing: (SharedScanQueries-1) * BytesRead
 
 	// Reduce side.
 	PairsIn         int64
@@ -190,17 +195,6 @@ type MapCtx struct {
 // partial state immediately.
 func (c *MapCtx) Emit(key, value []byte) error { return c.emit(key, value) }
 
-// EmitString is the string-keyed compatibility wrapper around Emit; the
-// key bytes of a Go string are immutable and so always satisfy Emit's
-// ownership rule.
-//
-// Deprecated: call Emit with byte-slice keys; this wrapper allocates a
-// key copy per pair. It is retained for external compatibility only —
-// no internal caller remains.
-func (c *MapCtx) EmitString(key string, value []byte) error {
-	return c.emit([]byte(key), value)
-}
-
 // MapFunc processes one input record.
 type MapFunc func(ctx *MapCtx, record []byte) error
 
@@ -256,16 +250,6 @@ type ReduceCtx struct {
 func (c *ReduceCtx) Emit(key, value []byte) {
 	c.Stats.OutputRecords++
 	c.emit(append([]byte(nil), key...), value)
-}
-
-// EmitString is the string-keyed compatibility wrapper around Emit.
-//
-// Deprecated: call Emit with byte-slice keys; this wrapper allocates a
-// key copy per record. It is retained for external compatibility only —
-// no internal caller remains.
-func (c *ReduceCtx) EmitString(key string, value []byte) {
-	c.Stats.OutputRecords++
-	c.emit([]byte(key), value)
 }
 
 // EmitStable is Emit without the key copy, for reducers that emit many

@@ -1,0 +1,103 @@
+package optimizer
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/distkey"
+)
+
+func testPlan(s *cube.Schema, cf int64) Plan {
+	k := distkey.FromGrain(s.GrainAll())
+	return Plan{
+		Key: k, ClusteringFactor: cf, PredictedWorkload: float64(cf), Blocks: 10,
+		Candidates: []Candidate{{Key: k, ClusteringFactor: cf, Workload: float64(cf), Blocks: 10}},
+	}
+}
+
+func TestDecisionCacheHitMissCounters(t *testing.T) {
+	s := cube.MustSchema(
+		cube.MustAttribute("a", cube.Numeric, 8, cube.Level{Name: "v", Span: 1}),
+	)
+	c := NewDecisionCache(4)
+	if _, _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("k1", testPlan(s, 3), true)
+	plan, sampled, ok := c.Get("k1")
+	if !ok || !sampled || plan.ClusteringFactor != 3 {
+		t.Fatalf("Get(k1) = cf %d sampled %v ok %v, want 3 true true", plan.ClusteringFactor, sampled, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+	// Returned plans are clones: mutating one must not corrupt the cache.
+	plan.ClusteringFactor = 99
+	plan.Candidates[0].Workload = -1
+	again, _, _ := c.Get("k1")
+	if again.ClusteringFactor != 3 || again.Candidates[0].Workload != 3 {
+		t.Error("caller mutation leaked into the cached plan")
+	}
+}
+
+func TestDecisionCacheLRUBound(t *testing.T) {
+	s := cube.MustSchema(
+		cube.MustAttribute("a", cube.Numeric, 8, cube.Level{Name: "v", Span: 1}),
+	)
+	c := NewDecisionCache(3)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), testPlan(s, int64(i+1)), false)
+	}
+	// Touch k0 so k1 becomes the least recently used, then overflow.
+	c.Get("k0")
+	c.Put("k3", testPlan(s, 4), false)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, _, ok := c.Get("k1"); ok {
+		t.Error("LRU entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestDecisionCacheDefaultCapacityAndOverwrite(t *testing.T) {
+	s := cube.MustSchema(
+		cube.MustAttribute("a", cube.Numeric, 8, cube.Level{Name: "v", Span: 1}),
+	)
+	c := NewDecisionCache(0)
+	c.Put("k", testPlan(s, 1), false)
+	c.Put("k", testPlan(s, 7), true) // overwrite in place, no duplicate entry
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", c.Len())
+	}
+	plan, sampled, ok := c.Get("k")
+	if !ok || plan.ClusteringFactor != 7 || !sampled {
+		t.Errorf("overwrite not visible: cf %d sampled %v ok %v", plan.ClusteringFactor, sampled, ok)
+	}
+}
+
+func TestDecisionKeySensitivity(t *testing.T) {
+	base := DecisionKey("fp", "tag", 100, Config{NumReducers: 4}, 0, 2000, 1)
+	for name, other := range map[string]string{
+		"workflow":   DecisionKey("fp2", "tag", 100, Config{NumReducers: 4}, 0, 2000, 1),
+		"dataset":    DecisionKey("fp", "tag2", 100, Config{NumReducers: 4}, 0, 2000, 1),
+		"records":    DecisionKey("fp", "tag", 101, Config{NumReducers: 4}, 0, 2000, 1),
+		"reducers":   DecisionKey("fp", "tag", 100, Config{NumReducers: 8}, 0, 2000, 1),
+		"minblocks":  DecisionKey("fp", "tag", 100, Config{NumReducers: 4, MinBlocksPerReducer: 2}, 0, 2000, 1),
+		"skew":       DecisionKey("fp", "tag", 100, Config{NumReducers: 4}, 1, 2000, 1),
+		"samplesize": DecisionKey("fp", "tag", 100, Config{NumReducers: 4}, 0, 500, 1),
+		"seed":       DecisionKey("fp", "tag", 100, Config{NumReducers: 4}, 0, 2000, 2),
+	} {
+		if other == base {
+			t.Errorf("DecisionKey insensitive to %s", name)
+		}
+	}
+	if again := DecisionKey("fp", "tag", 100, Config{NumReducers: 4}, 0, 2000, 1); again != base {
+		t.Error("DecisionKey not deterministic")
+	}
+}

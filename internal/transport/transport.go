@@ -49,23 +49,6 @@ type Pair struct {
 	Value []byte
 }
 
-// PairS builds a Pair from a string key, copying the key's bytes.
-//
-// Deprecated: build byte-keyed Pairs directly; this constructor allocates
-// a key copy per pair. It is retained for external compatibility only —
-// no internal caller remains.
-func PairS(key string, value []byte) Pair {
-	return Pair{Key: []byte(key), Value: value}
-}
-
-// KeyString returns the key as a string.
-//
-// Deprecated: use string(p.Key) at the use site (often free under Go's
-// map-lookup and comparison conversions, where this method always
-// allocates a copy). Retained for external compatibility only — no
-// internal caller remains.
-func (p Pair) KeyString() string { return string(p.Key) }
-
 // Size returns the pair's payload size in bytes, the unit of the cost
 // model's transfer term.
 func (p Pair) Size() int64 { return int64(len(p.Key) + len(p.Value)) }

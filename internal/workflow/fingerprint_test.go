@@ -1,0 +1,177 @@
+package workflow
+
+import (
+	"testing"
+
+	"github.com/casm-project/casm/internal/cube"
+	"github.com/casm-project/casm/internal/measure"
+)
+
+func fpSchema(t testing.TB) *cube.Schema {
+	t.Helper()
+	return cube.MustSchema(
+		cube.MustAttribute("kw", cube.Nominal, 100,
+			cube.Level{Name: "word", Span: 1}, cube.Level{Name: "group", Span: 10}),
+		cube.MustAttribute("amt", cube.Numeric, 64,
+			cube.Level{Name: "v", Span: 1}, cube.Level{Name: "band", Span: 8}),
+		cube.TimeAttribute("time", 2),
+	)
+}
+
+// buildFP assembles a small composite workflow with the given measure
+// names, so tests can produce structurally identical twins under
+// different naming.
+func buildFP(t *testing.T, s *cube.Schema, n1, n2, n3 string) *Workflow {
+	t.Helper()
+	w := New(s)
+	fine := s.GrainFinest()
+	coarse := s.GrainAll()
+	ti, _ := s.AttrIndex("time")
+	coarse[ti] = 0
+	if err := w.AddBasic(n1, fine, measure.Spec{Func: measure.Sum}, "amt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRollup(n2, coarse, measure.Spec{Func: measure.Max}, n1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddSliding(n3, fine, measure.Spec{Func: measure.Avg}, n1,
+		RangeAnn{Attr: ti, Low: -3, High: 0}); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mustFP(t *testing.T, w *Workflow) string {
+	t.Helper()
+	fp, err := Fingerprint(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestFingerprintRenameInvariant(t *testing.T) {
+	s := fpSchema(t)
+	a := buildFP(t, s, "m1", "m2", "m3")
+	b := buildFP(t, s, "total", "peak", "trend")
+	if mustFP(t, a) != mustFP(t, b) {
+		t.Error("renaming measures changed the fingerprint")
+	}
+}
+
+func TestFingerprintStructureSensitive(t *testing.T) {
+	s := fpSchema(t)
+	base := mustFP(t, buildFP(t, s, "m1", "m2", "m3"))
+
+	// Different aggregate.
+	w := New(s)
+	fine := s.GrainFinest()
+	coarse := s.GrainAll()
+	ti, _ := s.AttrIndex("time")
+	coarse[ti] = 0
+	if err := w.AddBasic("m1", fine, measure.Spec{Func: measure.Avg}, "amt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddRollup("m2", coarse, measure.Spec{Func: measure.Max}, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddSliding("m3", fine, measure.Spec{Func: measure.Avg}, "m1",
+		RangeAnn{Attr: ti, Low: -3, High: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if mustFP(t, w) == base {
+		t.Error("changing an aggregate kept the fingerprint")
+	}
+
+	// Different window bounds.
+	w2 := buildFP(t, s, "m1", "m2", "m3x")
+	w2a := New(s)
+	if err := w2a.AddBasic("m1", fine, measure.Spec{Func: measure.Sum}, "amt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2a.AddRollup("m2", coarse, measure.Spec{Func: measure.Max}, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2a.AddSliding("m3", fine, measure.Spec{Func: measure.Avg}, "m1",
+		RangeAnn{Attr: ti, Low: -5, High: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if mustFP(t, w2a) == mustFP(t, w2) {
+		t.Error("changing the window bounds kept the fingerprint")
+	}
+
+	// Dropping a measure.
+	w3 := New(s)
+	if err := w3.AddBasic("m1", fine, measure.Spec{Func: measure.Sum}, "amt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.AddRollup("m2", coarse, measure.Spec{Func: measure.Max}, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if mustFP(t, w3) == base {
+		t.Error("dropping a measure kept the fingerprint")
+	}
+}
+
+func TestFingerprintInsertionOrderInvariant(t *testing.T) {
+	s := fpSchema(t)
+	fine := s.GrainFinest()
+	// Two independent basics added in opposite orders: same structure,
+	// same fingerprint.
+	a := New(s)
+	if err := a.AddBasic("x", fine, measure.Spec{Func: measure.Sum}, "amt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddBasic("y", fine, measure.Spec{Func: measure.Count}, ""); err != nil {
+		t.Fatal(err)
+	}
+	b := New(s)
+	if err := b.AddBasic("y", fine, measure.Spec{Func: measure.Count}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBasic("x", fine, measure.Spec{Func: measure.Sum}, "amt"); err != nil {
+		t.Fatal(err)
+	}
+	if mustFP(t, a) != mustFP(t, b) {
+		t.Error("insertion order changed the fingerprint")
+	}
+}
+
+func TestFingerprintSchemaSensitive(t *testing.T) {
+	s1 := fpSchema(t)
+	s2 := cube.MustSchema(
+		cube.MustAttribute("kw", cube.Nominal, 200, // different cardinality
+			cube.Level{Name: "word", Span: 1}, cube.Level{Name: "group", Span: 10}),
+		cube.MustAttribute("amt", cube.Numeric, 64,
+			cube.Level{Name: "v", Span: 1}, cube.Level{Name: "band", Span: 8}),
+		cube.TimeAttribute("time", 2),
+	)
+	a := buildFP(t, s1, "m1", "m2", "m3")
+	b := buildFP(t, s2, "m1", "m2", "m3")
+	if mustFP(t, a) == mustFP(t, b) {
+		t.Error("different schemas produced the same fingerprint")
+	}
+}
+
+func TestFingerprintMappedSchemaSensitive(t *testing.T) {
+	mk := func(assign []int64) *cube.Schema {
+		return cube.MustSchema(
+			cube.MustMappedAttribute("prod", int64(len(assign)),
+				cube.MappedLevel{Name: "cat", Assign: assign}),
+			cube.MustAttribute("amt", cube.Numeric, 8, cube.Level{Name: "v", Span: 1}),
+		)
+	}
+	a1 := []int64{0, 0, 1, 1, 2, 2}
+	a2 := []int64{0, 1, 1, 2, 2, 0} // same spans, different grouping
+	wa := New(mk(a1))
+	if err := wa.AddBasic("m", wa.Schema().GrainAll(), measure.Spec{Func: measure.Count}, ""); err != nil {
+		t.Fatal(err)
+	}
+	wb := New(mk(a2))
+	if err := wb.AddBasic("m", wb.Schema().GrainAll(), measure.Spec{Func: measure.Count}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if mustFP(t, wa) == mustFP(t, wb) {
+		t.Error("different irregular-hierarchy assignments produced the same fingerprint")
+	}
+}
