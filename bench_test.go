@@ -359,6 +359,40 @@ func BenchmarkSharedScan(b *testing.B) {
 	b.ReportMetric(p.PlanSpeedup(), "plan_cache_speedup")
 }
 
+func BenchmarkServeLoad(b *testing.B) {
+	cfg := benchConfig(b)
+	var p *figures.ServeLoad
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = figures.ServeLoadPanel(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + p.Table().String())
+	// The PR's headline claims. (1) With one warmup per distinct query,
+	// every measured request is served from the resident decision cache.
+	if float64(p.PlanCacheHits) < p.Total || p.PlanCacheMisses > int64(len(p.Queries)) {
+		b.Errorf("plan cache: %d hits / %d misses over %.0f queries, want all hits after %d warmups",
+			p.PlanCacheHits, p.PlanCacheMisses, p.Total, len(p.Queries))
+	}
+	// (2) Admission keeps every tenant at or under its in-flight limit.
+	if p.TenantPeak > 4 {
+		b.Errorf("tenant peak in-flight %d exceeds the default limit 4", p.TenantPeak)
+	}
+	// (3) Drain refuses new work with 503 (checked inside the panel) and
+	// the load completed: all clients, all queries.
+	if !p.DrainRejects {
+		b.Error("post-drain query was not rejected with 503")
+	}
+	if int(p.Total) != p.Clients*p.PerClient {
+		b.Errorf("completed %d of %d queries", int(p.Total), p.Clients*p.PerClient)
+	}
+	b.ReportMetric(p.QPS, "qps")
+	b.ReportMetric(p.P50MS, "p50_ms")
+	b.ReportMetric(p.P99MS, "p99_ms")
+}
+
 func BenchmarkMorselSkew(b *testing.B) {
 	cfg := benchConfig(b)
 	var p *figures.MorselSkew

@@ -41,6 +41,7 @@ import (
 	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/distkey"
+	"github.com/casm-project/casm/internal/exec"
 	"github.com/casm-project/casm/internal/localeval"
 	"github.com/casm-project/casm/internal/measure"
 	"github.com/casm-project/casm/internal/mr"
@@ -289,6 +290,32 @@ type BatchResult = core.BatchResult
 // BatchJobInfo describes one job a batch ran and which queries shared
 // it.
 type BatchJobInfo = core.BatchJobInfo
+
+// Service is the resident, multi-tenant form of the engine: a long-lived
+// executor pool, a named dataset registry, and a shared decision cache
+// behind per-tenant admission control. See core.Service.
+type Service = core.Service
+
+// ServiceConfig parameterizes a Service.
+type ServiceConfig = core.ServiceConfig
+
+// ServiceStats is a point-in-time snapshot of a Service.
+type ServiceStats = core.ServiceStats
+
+// NewService validates the configuration and returns a resident service.
+func NewService(cfg ServiceConfig) (*Service, error) { return core.NewService(cfg) }
+
+// Typed service-lifecycle errors, for mapping to transport status codes.
+var (
+	// ErrDraining: submitted after Drain began (HTTP 503).
+	ErrDraining = exec.ErrDraining
+	// ErrQueueFull: the bounded admission queue is full (HTTP 429).
+	ErrQueueFull = exec.ErrQueueFull
+	// ErrUnknownDataset: the named dataset was never registered (HTTP 404).
+	ErrUnknownDataset = core.ErrUnknownDataset
+	// ErrStreamClosed: reading a result stream after an early Close.
+	ErrStreamClosed = mr.ErrClosed
+)
 
 // Cluster describes the simulated cluster used for response-time
 // estimates.

@@ -30,6 +30,7 @@ import (
 	casm "github.com/casm-project/casm"
 	"github.com/casm-project/casm/internal/core"
 	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/optimizer"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/workload"
 )
@@ -117,6 +118,10 @@ func run() error {
 		return err
 	}
 
+	// One decision cache per invocation, as in casmserve's resident state:
+	// repeat plans of the same (query, dataset, config) are served from it.
+	// Forced overrides (-cf) bypass the cache by construction.
+	dcache := optimizer.NewDecisionCache(0)
 	cfg := casm.Config{
 		NumReducers:         *reducers,
 		ForceCF:             *cf,
@@ -124,6 +129,7 @@ func run() error {
 		TempDir:             *tmpDir,
 		SortMemoryItems:     *sortMem,
 		LocalAggBudget:      *localAgg,
+		DecisionCache:       dcache,
 	}
 	if *morselB > 0 {
 		cfg.MorselBytes = *morselB
@@ -198,7 +204,11 @@ func run() error {
 	fmt.Printf("dataset: %d records (%d bytes)\n", len(records), len(data))
 	ds := core.MemoryDataset(su.Schema, records, 4**reducers)
 	if len(batchQs) > 0 {
-		return runBatch(ctx, eng, su, batchQs, batchNames, ds, *values)
+		if err := runBatch(ctx, eng, su, batchQs, batchNames, ds, *values); err != nil {
+			return err
+		}
+		fmt.Printf("plan cache: %d hits, %d misses\n", dcache.Hits(), dcache.Misses())
+		return nil
 	}
 	res, err := eng.EvaluateContext(ctx, q, ds)
 	if err != nil {

@@ -43,9 +43,13 @@ func (e *Executor) NewGroup(ctx context.Context, opts Options) *Group {
 
 // Timing records when the scheduler dispatched a task (Start, stamped
 // before any task work runs — the gap to job submission is the queueing
-// delay) and how long the task ran (Wall). Both are observability-only:
-// the cost model prices neither.
+// delay) and how long the task ran (Wall). Queue is the explicit
+// admission wait for work that passed through an Admission controller
+// (whole jobs at the service layer); for pooled tasks the scheduler
+// leaves it zero, their queueing delay being the submission→Start gap.
+// All three are observability-only: the cost model prices none of them.
 type Timing struct {
+	Queue time.Duration
 	Start time.Time
 	Wall  time.Duration
 }

@@ -139,6 +139,7 @@ func Fig4e(ctx context.Context, cfg Config) (*PanelE, error) {
 		for _, early := range []core.EarlyAggMode{core.EarlyAggOn, core.EarlyAggOff} {
 			eng, err := core.NewEngine(core.Config{
 				NumReducers: cfg.Reducers, EarlyAggregation: early, TempDir: cfg.TempDir,
+				Executor: cfg.Executor, DecisionCache: cfg.DecisionCache,
 			})
 			if err != nil {
 				return nil, err

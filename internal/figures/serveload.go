@@ -1,0 +1,232 @@
+package figures
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/casm-project/casm/internal/core"
+	"github.com/casm-project/casm/internal/cql"
+	"github.com/casm-project/casm/internal/serve"
+	"github.com/casm-project/casm/internal/workload"
+)
+
+// ServeLoad is the resident-service concurrency study: a real casmserve
+// stack — core.Service behind the serve HTTP handlers on a loopback
+// listener — driven by concurrent clients under two tenant identities.
+// Like MorselSkew and SharedScan this is not one of the paper's Figure 4
+// panels; it evaluates this reproduction's resident-service extension
+// (admission control, shared executor, shared decision cache), so
+// casmbench emits it as a separate snapshot section that casmbenchdiff
+// does not compare across commits. Every number here is host wall-clock.
+type ServeLoad struct {
+	Records   int      `json:"records"`
+	Clients   int      `json:"clients"`
+	Tenants   int      `json:"tenants"`
+	PerClient int      `json:"queries_per_client"`
+	Queries   []string `json:"queries"`
+	// Total is the measured request count (warmups excluded); QPS the
+	// completed queries per wall second over the loaded window.
+	Total float64 `json:"total_queries"`
+	QPS   float64 `json:"qps"`
+	// P50/P95/P99/Max are end-to-end HTTP request latencies in
+	// milliseconds, admission queueing included.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+	// PlanCacheHits/Misses come from the service's /stats endpoint after
+	// the run: with one warmup per distinct query, every measured request
+	// must be a hit.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	// TenantPeak is the highest concurrent in-flight count any tenant
+	// reached — bounded by the admission limit however many clients pile
+	// on.
+	TenantPeak int `json:"tenant_peak_in_flight"`
+	// DrainRejects records that a query submitted after Drain began was
+	// refused with 503, the graceful-shutdown contract.
+	DrainRejects bool `json:"drain_rejects_new_queries"`
+}
+
+// serveLoadClients is the concurrent client count (two tenants).
+const serveLoadClients = 8
+
+// ServeLoadPanel stands the service up and runs the load.
+func ServeLoadPanel(ctx context.Context, cfg Config) (*ServeLoad, error) {
+	cfg = cfg.withDefaults()
+	su := workload.NewSuite()
+	p := &ServeLoad{
+		Records:   cfg.n(100_000),
+		Clients:   serveLoadClients,
+		Tenants:   2,
+		PerClient: 4,
+		Queries:   []string{cql.Format(su.Q1()), cql.Format(su.Q5())},
+	}
+	records := su.Generate(p.Records, workload.Uniform, cfg.Seed)
+
+	svc, err := core.NewService(core.ServiceConfig{
+		Engine: core.Config{NumReducers: cfg.Reducers, TempDir: cfg.TempDir},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Register("serveload", core.MemoryDataset(su.Schema, records, 4*cfg.Reducers)); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: serve.New(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func(tenant, q string) (int, error) {
+		req, err := http.NewRequestWithContext(ctx, "POST", base+"/query?dataset=serveload&limit=1", strings.NewReader(q))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("X-Casm-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Rows int64 `json:"rows"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, err
+		}
+		if resp.StatusCode == http.StatusOK && out.Rows == 0 {
+			return resp.StatusCode, fmt.Errorf("figures: serveload: empty result")
+		}
+		return resp.StatusCode, nil
+	}
+
+	// One warmup per distinct query primes the decision cache, so the
+	// measured window benchmarks the resident steady state.
+	for _, q := range p.Queries {
+		if code, err := post("warmup", q); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("figures: serveload warmup: status %d: %v", code, err)
+		}
+	}
+
+	lats := make([][]time.Duration, p.Clients)
+	errs := make([]error, p.Clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < p.Clients; c++ {
+		c := c
+		tenant := fmt.Sprintf("tenant-%d", c%p.Tenants)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < p.PerClient; r++ {
+				q := p.Queries[(c+r)%len(p.Queries)]
+				t0 := time.Now()
+				code, err := post(tenant, q)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if code != http.StatusOK {
+					errs[c] = fmt.Errorf("figures: serveload: status %d", code)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p.Total = float64(len(all))
+	p.QPS = p.Total / elapsed.Seconds()
+	p.P50MS = pctMS(all, 0.50)
+	p.P95MS = pctMS(all, 0.95)
+	p.P99MS = pctMS(all, 0.99)
+	p.MaxMS = pctMS(all, 1)
+
+	// Resident-state accounting through the service's own endpoint.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	var st core.ServiceStats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	p.PlanCacheHits, p.PlanCacheMisses = st.PlanCacheHits, st.PlanCacheMisses
+	for _, peak := range st.Admission.TenantPeak {
+		if peak > p.TenantPeak {
+			p.TenantPeak = peak
+		}
+	}
+
+	// Graceful drain, then prove new work is refused with 503.
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(dctx); err != nil {
+		return nil, fmt.Errorf("figures: serveload drain: %w", err)
+	}
+	code, _ := post("late", p.Queries[0])
+	p.DrainRejects = code == http.StatusServiceUnavailable
+	if !p.DrainRejects {
+		return nil, fmt.Errorf("figures: serveload: post-drain status %d, want 503", code)
+	}
+	return p, nil
+}
+
+// pctMS returns the q-quantile of the sorted latencies in milliseconds.
+func pctMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// Table renders the study.
+func (p *ServeLoad) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Resident service under load: %d clients, %d tenants, %d records",
+			p.Clients, p.Tenants, p.Records),
+		Columns: []string{"metric", "value"},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"queries", fmt.Sprintf("%.0f (%d per client, %d distinct)", p.Total, p.PerClient, len(p.Queries))},
+		[]string{"throughput", fmt.Sprintf("%.1f qps", p.QPS)},
+		[]string{"latency p50/p95/p99", fmt.Sprintf("%.0f / %.0f / %.0f ms", p.P50MS, p.P95MS, p.P99MS)},
+		[]string{"latency max", fmt.Sprintf("%.0f ms", p.MaxMS)},
+		[]string{"plan cache", fmt.Sprintf("%d hits, %d misses", p.PlanCacheHits, p.PlanCacheMisses)},
+		[]string{"tenant peak in-flight", fmt.Sprintf("%d", p.TenantPeak)},
+		[]string{"drain rejects new queries", fmt.Sprintf("%v", p.DrainRejects)},
+	)
+	return t
+}

@@ -2,6 +2,7 @@ package mr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -119,8 +120,12 @@ func TestPipeCloseMidStreamReleasesSpillState(t *testing.T) {
 				if fds := openFDsInDir(t, dir); len(fds) != 0 {
 					t.Fatalf("spill descriptors leaked: %v", fds)
 				}
-				if _, _, ok, err := pipe.NextBatch(); ok || err != nil {
-					t.Fatalf("NextBatch after Close: ok=%v err=%v", ok, err)
+				if _, _, ok, err := pipe.NextBatch(); ok || !errors.Is(err, ErrClosed) {
+					t.Fatalf("NextBatch after Close: ok=%v err=%v, want ErrClosed", ok, err)
+				}
+				// Close stays idempotent after the abandoned read.
+				if err := pipe.Close(); err != nil {
+					t.Fatalf("second Close: %v", err)
 				}
 			})
 		}

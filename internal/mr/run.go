@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,13 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 	return result, nil
 }
 
+// ErrClosed is returned by Next/NextBatch on a pipe that was torn down by
+// an early Close before its stream ended naturally — the read is a caller
+// bug (reading a stream it already abandoned), distinct from the benign
+// ok=false end of a fully consumed stream. Close itself stays idempotent
+// and returns nil on repeat calls.
+var ErrClosed = errors.New("mr: pipe is closed")
+
 // outBatch is one run of output pairs flushed by reduce task r.
 type outBatch struct {
 	r     int
@@ -123,8 +131,11 @@ type Pipe struct {
 // the job's (joined task failures, or the cancellation error). The batch
 // slice is handed off to the caller (see Pipe ownership).
 func (p *Pipe) NextBatch() (r int, pairs []transport.Pair, ok bool, err error) {
-	if p.finished || p.closed {
+	if p.finished {
 		return 0, nil, false, nil
+	}
+	if p.closed {
+		return 0, nil, false, ErrClosed
 	}
 	b, ok := <-p.out
 	if !ok {
