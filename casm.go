@@ -35,18 +35,17 @@ package casm
 import (
 	"fmt"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/core"
 	"github.com/casm-project/casm/internal/costmodel"
 	"github.com/casm-project/casm/internal/cql"
 	"github.com/casm-project/casm/internal/cube"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/distkey"
 	"github.com/casm-project/casm/internal/exec"
 	"github.com/casm-project/casm/internal/localeval"
 	"github.com/casm-project/casm/internal/measure"
 	"github.com/casm-project/casm/internal/mr"
 	"github.com/casm-project/casm/internal/optimizer"
-	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/transport"
 	"github.com/casm-project/casm/internal/workflow"
 )
@@ -348,47 +347,75 @@ func ChannelTransport(buffer int) TransportFactory { return transport.ChannelFac
 
 // --- distributed storage ---
 
-// FS is the in-process replicated block store.
-type FS = dfs.FS
+// Store is the persistent replicated columnar block store: per-node
+// append-only segment files, per-column compression, checksummed block
+// footers, and torn-tail recovery, so a restarted process reopens its
+// datasets without re-ingesting or recounting them.
+type Store = blockstore.Store
 
-// FSConfig parameterizes an FS.
-type FSConfig = dfs.Config
+// StoreConfig parameterizes a Store; Dir is the on-disk root.
+type StoreConfig = blockstore.Config
 
-// NewFS returns an empty replicated block store.
-func NewFS(cfg FSConfig) (*FS, error) { return dfs.New(cfg) }
+// StoreStats is a store's cumulative health and traffic counters.
+type StoreStats = blockstore.Stats
 
-// WriteRecords packs records into aligned blocks (none straddles a block
-// boundary) and stores them as a DFS file ready for parallel scanning.
-func WriteRecords(fs *FS, name string, records []Record, blockSize int) error {
-	data, err := recio.PackAligned(records, blockSize)
-	if err != nil {
-		return err
-	}
-	return fs.Write(name, data)
+// OpenStore opens (or creates) the persistent block store rooted at
+// cfg.Dir, rebuilding its index from the segment files and truncating
+// any torn tail left by a crash mid-write.
+func OpenStore(cfg StoreConfig) (*Store, error) { return blockstore.Open(cfg) }
+
+// ResultCache is the materialized per-(block, query-fingerprint) result
+// cache; hand one to Config.ResultCache and repeated or structurally
+// identical queries reuse already-computed block results.
+type ResultCache = blockstore.ResultCache
+
+// ResultCacheStats are a ResultCache's cumulative counters.
+type ResultCacheStats = blockstore.CacheStats
+
+// NewResultCache returns a result cache bounded to maxBytes of in-memory
+// entries (0 = the default budget), persisted write-behind into st; a
+// nil st keeps the cache memory-only.
+func NewResultCache(st *Store, maxBytes int64) (*ResultCache, error) {
+	return blockstore.NewResultCache(st, maxBytes)
 }
 
-// SaveResults persists an evaluation's measure records as a block-aligned
-// DFS file, as the paper's jobs write their output back to HDFS.
-func SaveResults(fs *FS, name string, res *Result, blockSize int) error {
-	return core.SaveResults(fs, name, res, blockSize)
+// WriteRecords stores records as a replicated columnar store file ready
+// for parallel scanning, recording the dataset's cardinality and schema
+// digest in the store's metadata.
+func WriteRecords(st *Store, name string, schema *Schema, records []Record) error {
+	return st.WriteRecords(name, schema.NumAttrs(), workflow.SchemaDigest(schema), records)
+}
+
+// SaveResults persists an evaluation's measure records as a store file,
+// as the paper's jobs write their output back to HDFS.
+func SaveResults(st *Store, name string, res *Result, blockSize int) error {
+	return core.SaveResults(st, name, res, blockSize)
 }
 
 // LoadResults reads a file written by SaveResults, resolving measure
 // grains through the query that produced it.
-func LoadResults(fs *FS, name string, q *Query) (map[string][]MeasureRecord, error) {
-	return core.LoadResults(fs, name, q)
+func LoadResults(st *Store, name string, q *Query) (map[string][]MeasureRecord, error) {
+	return core.LoadResults(st, name, q)
 }
 
-// DFSDataset opens a DFS file written by WriteRecords as a dataset,
-// counting its records once for the optimizer.
-func DFSDataset(schema *Schema, fs *FS, file string) (*Dataset, error) {
-	ds := &core.Dataset{Schema: schema, Input: mr.NewDFSInput(fs, file)}
-	n, err := core.CountRecords(ds)
+// StoreDataset opens a store file written by WriteRecords as a dataset.
+// The cardinality comes from the store's block footers — no counting
+// scan — and the dataset is tagged with the file name so plan decisions
+// and materialized results key correctly across restarts.
+func StoreDataset(schema *Schema, st *Store, file string) (*Dataset, error) {
+	info, err := st.FileInfo(file)
 	if err != nil {
-		return nil, fmt.Errorf("casm: counting %q: %w", file, err)
+		return nil, fmt.Errorf("casm: opening %q: %w", file, err)
 	}
-	ds.NumRecords = n
-	return ds, nil
+	if d := workflow.SchemaDigest(schema); info.SchemaDigest != "" && info.SchemaDigest != d {
+		return nil, fmt.Errorf("casm: %q was ingested under a different schema", file)
+	}
+	return &core.Dataset{
+		Schema:     schema,
+		Input:      mr.NewStoreInput(st, file),
+		NumRecords: info.Records,
+		Tag:        st.DatasetTag(file),
+	}, nil
 }
 
 // Explain renders a query, the per-measure and query-wide minimal

@@ -90,30 +90,31 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
-func TestPublicAPIDFSRoundTrip(t *testing.T) {
+func TestPublicAPIStoreRoundTrip(t *testing.T) {
 	s := weblogSchema()
 	q := weblogQuery(t, s)
 	records := genRecords(2000)
 
-	fs, err := casm.NewFS(casm.FSConfig{BlockSize: 8192, Replication: 3, NumNodes: 5, Seed: 1})
+	st, err := casm.OpenStore(casm.StoreConfig{Dir: t.TempDir(), BlockSize: 8192, Replication: 3, NumNodes: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := casm.WriteRecords(fs, "weblog", records, 8192); err != nil {
+	defer st.Close()
+	if err := casm.WriteRecords(st, "weblog", s, records); err != nil {
 		t.Fatal(err)
 	}
-	ds, err := casm.DFSDataset(s, fs, "weblog")
+	ds, err := casm.StoreDataset(s, st, "weblog")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ds.NumRecords != 2000 {
-		t.Fatalf("counted %d records", ds.NumRecords)
+		t.Fatalf("store reports %d records", ds.NumRecords)
 	}
 	eng, err := casm.NewEngine(casm.Config{NumReducers: 3, TempDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dfsRes, err := eng.Run(q, ds)
+	storeRes, err := eng.Run(q, ds)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,9 +122,9 @@ func TestPublicAPIDFSRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// DFS-backed and memory-backed runs agree exactly.
+	// Store-backed and memory-backed runs agree exactly.
 	for name, mm := range memRes.Measures {
-		dd := dfsRes.Measures[name]
+		dd := storeRes.Measures[name]
 		if len(dd) != len(mm) {
 			t.Fatalf("%s: %d vs %d records", name, len(dd), len(mm))
 		}

@@ -8,6 +8,7 @@
 //	casmbench -morselskew     # add the morsel vs fixed-split comparison
 //	casmbench -sharedscan     # add the batched vs sequential multi-query comparison
 //	casmbench -serveload      # add the resident-service concurrent-load study
+//	casmbench -resultreuse    # add the cold vs warm materialized-result-reuse study
 //	casmbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Panels execute real engine runs; the reported numbers are simulated
@@ -32,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/exec"
 	"github.com/casm-project/casm/internal/figures"
 	"github.com/casm-project/casm/internal/optimizer"
@@ -73,6 +75,14 @@ type snapshot struct {
 	// are priced at zero in the cost model and skew-handled runs bypass
 	// the cache, so the published panel numbers are unchanged.
 	PlanCache *planCacheResult `json:"plan_cache,omitempty"`
+	// ResultReuse is the -resultreuse cold-vs-warm materialized-result
+	// study over the persistent block store. Outside Panels like the
+	// other extension studies: it evaluates this reproduction's result
+	// cache, not one of the paper's figures.
+	ResultReuse *panelResult `json:"result_reuse,omitempty"`
+	// ResultCache carries the result cache's cumulative counters from the
+	// -resultreuse run (hits, misses, bytes materialized, evictions).
+	ResultCache *blockstore.CacheStats `json:"result_cache,omitempty"`
 }
 
 type planCacheResult struct {
@@ -151,6 +161,7 @@ func main() {
 		morselSkew = flag.Bool("morselskew", false, "also run the morsel vs fixed-split skew comparison")
 		sharedScan = flag.Bool("sharedscan", false, "also run the shared-scan batched vs sequential comparison")
 		serveLoad  = flag.Bool("serveload", false, "also run the resident-service concurrent-load study")
+		resReuse   = flag.Bool("resultreuse", false, "also run the cold vs warm materialized-result-reuse study")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -306,6 +317,28 @@ func main() {
 		} else {
 			fmt.Print(t.String())
 			fmt.Printf("(serveload regenerated in %.1fs real time)\n\n", elapsed)
+		}
+	}
+
+	if *resReuse {
+		start := time.Now()
+		p, err := figures.ResultReusePanel(ctx, cfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "casmbench: interrupted\n")
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "casmbench: resultreuse: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start).Seconds()
+		t := p.Table()
+		snap.ResultCache = p.Cache
+		if *asJSON {
+			snap.ResultReuse = &panelResult{Title: t.Title, RealSeconds: elapsed, Data: p}
+		} else {
+			fmt.Print(t.String())
+			fmt.Printf("(resultreuse regenerated in %.1fs real time)\n\n", elapsed)
 		}
 	}
 

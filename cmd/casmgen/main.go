@@ -14,6 +14,14 @@
 // across all blocks, clustered sorts records so each hot key forms a
 // contiguous run, adversarial additionally parks the hottest runs at the
 // end of the file.
+//
+// With -store DIR, records ingest into the persistent replicated block
+// store rooted at DIR instead of a flat file; -o names the file inside
+// the store. casmserve and casmrun reopen it with their own -store flag
+// and skip recounting — the record count and schema digest persist in
+// block footers:
+//
+//	casmgen -n 1000000 -store /var/casm/store -o events.casm
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/workload"
 )
@@ -32,8 +41,11 @@ func main() {
 		zipf      = flag.Float64("zipf", 0, "zipf exponent for a1..a4 (> 1; 0 = uniform)")
 		layout    = flag.String("layout", "shuffled", "record layout: shuffled | clustered | adversarial")
 		seed      = flag.Int64("seed", 1, "generator seed")
-		out       = flag.String("o", "data.casm", "output file")
+		out       = flag.String("o", "data.casm", "output file (with -store: the file name inside the store)")
 		blockSize = flag.Int("block", 4<<20, "block size in bytes (records never straddle blocks)")
+		storeDir  = flag.String("store", "", "ingest into the persistent block store at this directory instead of a flat file")
+		repl      = flag.Int("replication", 3, "store replication factor (with -store)")
+		nodes     = flag.Int("nodes", 10, "store node count (with -store)")
 	)
 	flag.Parse()
 
@@ -60,6 +72,42 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
 		os.Exit(2)
+	}
+	if *storeDir != "" {
+		st, err := blockstore.Open(blockstore.Config{
+			Dir: *storeDir, BlockSize: *blockSize, Replication: *repl, NumNodes: *nodes, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
+			os.Exit(1)
+		}
+		// Replace, not append: re-running the same casmgen converges to
+		// exactly the generated records.
+		if _, ferr := st.FileInfo(*out); ferr == nil {
+			if err := st.Delete(*out); err != nil {
+				st.Close()
+				fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := workload.WriteStore(st, *out, su.Schema, records); err != nil {
+			st.Close()
+			fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
+			os.Exit(1)
+		}
+		size, err := st.Size(*out)
+		if err != nil {
+			st.Close()
+			fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "casmgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ingested %d records (%d stored bytes, %s distribution, zipf %g, %s layout, seed %d) into store %s as %s\n",
+			*n, size, d, *zipf, lay, *seed, *storeDir, *out)
+		return
 	}
 	data, err := recio.PackAligned(records, *blockSize)
 	if err != nil {

@@ -8,8 +8,14 @@
 //	casmrun -data data.casm -query ds0 -early on
 //	casmrun -data data.casm -query q5 -skew sampling -tcp
 //	casmrun -data data.casm -batch q1,q2,q6
+//	casmrun -store /var/casm/store -data events.casm -query q2 -resultcache
 //
 // Queries: q1..q6 (Section VI), ds0..ds2 (early-aggregation study).
+// With -store, -data names a file inside the persistent block store
+// (written by casmgen -store) and evaluation streams off the store's
+// replicated blocks. Adding -resultcache materializes per-(block,
+// fingerprint) results into the store, so re-running the same query in a
+// later invocation assembles the answer without scanning any input.
 // With -batch, the named queries are evaluated in one EvaluateBatch call:
 // compatible queries share a single input scan (and, when their plans
 // agree on block geometry, the shuffle too), with per-query answers
@@ -73,6 +79,8 @@ func run() error {
 		morselB  = flag.Int("morselbytes", 0, "morsel size in bytes (implies -morsel; 0 with -morsel = default size)")
 		localAgg = flag.Int("localagg", 0, "morsel workers' thread-local pre-aggregation budget in distinct states (0 = default)")
 		stream   = flag.Bool("stream", false, "bounded-memory mode: stream splits off disk and rows to the sink, never materializing dataset or result")
+		storeDir = flag.String("store", "", "open the persistent block store at this directory; -data names the file inside it")
+		resCache = flag.Bool("resultcache", false, "enable the materialized result cache, persisted in the store (requires -store)")
 		batchStr = flag.String("batch", "", "comma-separated queries (e.g. q1,q2,q6) evaluated as one shared-scan batch (overrides -query)")
 	)
 	flag.Parse()
@@ -177,32 +185,68 @@ func run() error {
 		cfg.Transport = casm.TCPTransport(0)
 	}
 
+	// -store evaluates off the persistent block store: the dataset's
+	// cardinality and schema digest come from block footers (no counting
+	// scan), and -resultcache materializes results back into the store so
+	// a later invocation of the same query skips the input entirely.
+	var st *casm.Store
+	var rc *casm.ResultCache
+	if *storeDir != "" {
+		st, err = casm.OpenStore(casm.StoreConfig{
+			Dir: *storeDir, BlockSize: *blockSz, Replication: 3, NumNodes: 10, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if *resCache {
+			if rc, err = casm.NewResultCache(st, 0); err != nil {
+				return err
+			}
+			defer rc.Close()
+			cfg.ResultCache = rc
+		}
+	} else if *resCache {
+		return fmt.Errorf("-resultcache persists into the block store; add -store")
+	}
+
 	eng, err := casm.NewEngine(cfg)
 	if err != nil {
 		return err
+	}
+
+	var ds *casm.Dataset
+	if st != nil {
+		if ds, err = casm.StoreDataset(su.Schema, st, *dataPath); err != nil {
+			return err
+		}
+		fmt.Printf("dataset: %d records from store %s (file %s)\n", ds.NumRecords, *storeDir, *dataPath)
 	}
 
 	if *stream {
 		if *savePath != "" {
 			return fmt.Errorf("-save needs the materialized result; drop -stream")
 		}
-		ds, err := core.FileDataset(su.Schema, *dataPath, *blockSz)
-		if err != nil {
-			return err
+		if ds == nil {
+			if ds, err = core.FileDataset(su.Schema, *dataPath, *blockSz); err != nil {
+				return err
+			}
 		}
 		return runStream(ctx, eng, su, q, ds, *values)
 	}
 
-	data, err := os.ReadFile(*dataPath)
-	if err != nil {
-		return err
+	if ds == nil {
+		data, err := os.ReadFile(*dataPath)
+		if err != nil {
+			return err
+		}
+		records, err := recio.DecodeAll(data, *blockSz, su.Schema.NumAttrs())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset: %d records (%d bytes)\n", len(records), len(data))
+		ds = core.MemoryDataset(su.Schema, records, 4**reducers)
 	}
-	records, err := recio.DecodeAll(data, *blockSz, su.Schema.NumAttrs())
-	if err != nil {
-		return err
-	}
-	fmt.Printf("dataset: %d records (%d bytes)\n", len(records), len(data))
-	ds := core.MemoryDataset(su.Schema, records, 4**reducers)
 	if len(batchQs) > 0 {
 		if err := runBatch(ctx, eng, su, batchQs, batchNames, ds, *values); err != nil {
 			return err
@@ -239,22 +283,32 @@ func run() error {
 	if res.SampleSeconds > 0 {
 		fmt.Printf("  (includes %.1fs simulated sampling overhead)\n", res.SampleSeconds)
 	}
+	if res.ResultReused {
+		fmt.Println("result assembled from the materialized cache (no input scanned)")
+	}
+	if rc != nil {
+		cs := rc.Stats()
+		fmt.Printf("result cache: %d hits, %d misses, %d bytes materialized, %d evictions\n",
+			cs.Hits, cs.Misses, cs.BytesMaterialized, cs.Evictions)
+	}
 	if *savePath != "" {
-		outFS, err := casm.NewFS(casm.FSConfig{BlockSize: *blockSz, Replication: 1, NumNodes: 1, Seed: 1})
+		outStore, err := casm.OpenStore(casm.StoreConfig{Dir: *savePath, BlockSize: *blockSz, Replication: 1, NumNodes: 1, Seed: 1})
 		if err != nil {
 			return err
 		}
-		if err := casm.SaveResults(outFS, "results", res, *blockSz); err != nil {
+		if err := casm.SaveResults(outStore, "results", res, *blockSz); err != nil {
+			outStore.Close()
 			return err
 		}
-		data, err := outFS.Read("results")
+		size, err := outStore.Size("results")
 		if err != nil {
+			outStore.Close()
 			return err
 		}
-		if err := os.WriteFile(*savePath, data, 0o644); err != nil {
+		if err := outStore.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("saved %d measure records to %s (%d bytes)\n", res.TotalRecords(), *savePath, len(data))
+		fmt.Printf("saved %d measure records to store %s (%d bytes)\n", res.TotalRecords(), *savePath, size)
 	}
 	return nil
 }

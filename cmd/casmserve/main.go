@@ -16,6 +16,18 @@
 //	curl -sN -X POST 'localhost:8080/query?dataset=events&stream=1' \
 //	     --data 'MEASURE hits = COUNT(*) AT (a1:value, t1:hour);'
 //
+// With -store DIR the service runs over the persistent block store at
+// DIR: -data name=file registers files already ingested there (casmgen
+// -store), while -ingest makes -data name=path ingest flat casmgen files
+// into the store under the dataset's name first. Either way the store
+// also backs a materialized result cache (bound it with -resultcache),
+// so repeated queries are answered without scanning input — across
+// restarts, since cardinality, schema digests, and cached results all
+// persist:
+//
+//	casmgen -n 1000000 -store /var/casm/store -o events.casm
+//	casmserve -store /var/casm/store -data events=events.casm
+//
 // SIGTERM (or SIGINT) triggers a graceful drain: admission stops — new
 // queries get 503 — running queries finish, and the process exits 0 with
 // no goroutines or spill files left behind.
@@ -34,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/core"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/serve"
@@ -67,6 +80,9 @@ func run() error {
 		tmpDir   = flag.String("tmp", "", "directory for reducer spill files (default OS temp)")
 		tcp      = flag.Bool("tcp", false, "shuffle over loopback TCP instead of channels")
 		inMem    = flag.Bool("mem", false, "load datasets fully into memory instead of streaming off disk")
+		storeDir = flag.String("store", "", "serve from the persistent block store at this directory; -data names files inside it")
+		ingest   = flag.Bool("ingest", false, "with -store: -data name=path ingests the flat file at path into the store as name")
+		rcBytes  = flag.Int64("resultcache", 0, "materialized result cache in-memory bound in bytes (0 = default; needs -store)")
 		skew     = flag.String("skew", "none", "skew handling: none | sampling")
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline on SIGTERM")
 	)
@@ -87,12 +103,31 @@ func run() error {
 	if *tcp {
 		ecfg.Transport = transport.TCPFactory(0)
 	}
+
+	// The store is opened before registration so a process killed during
+	// -ingest leaves at worst a torn segment tail, which the next open
+	// detects by checksum and truncates to the last committed block.
+	var st *blockstore.Store
+	if *storeDir != "" {
+		var err error
+		st, err = blockstore.Open(blockstore.Config{
+			Dir: *storeDir, BlockSize: *blockSz, Replication: 3, NumNodes: 10, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+	} else if *ingest {
+		return fmt.Errorf("-ingest writes into the block store; add -store")
+	}
 	svc, err := core.NewService(core.ServiceConfig{
 		Engine:            ecfg,
 		Workers:           *workers,
 		DecisionCacheSize: *cacheSz,
 		PerTenantInFlight: *tenantIF,
 		AdmissionQueue:    *queue,
+		Store:             st,
+		ResultCacheBytes:  *rcBytes,
 	})
 	if err != nil {
 		return err
@@ -104,6 +139,40 @@ func run() error {
 		name, path := "default", spec
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			name, path = spec[:i], spec[i+1:]
+		}
+		switch {
+		case st != nil && *ingest:
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			records, err := recio.DecodeAll(data, *blockSz, su.Schema.NumAttrs())
+			if err != nil {
+				return fmt.Errorf("decoding %s: %w", path, err)
+			}
+			// Replace, not append: a re-run after a crashed ingest must
+			// converge to exactly the flat file's contents.
+			if _, err := st.FileInfo(name); err == nil {
+				if err := st.Delete(name); err != nil {
+					return err
+				}
+			}
+			if err := workload.WriteStore(st, name, su.Schema, records); err != nil {
+				return fmt.Errorf("ingesting %s: %w", path, err)
+			}
+			if err := svc.RegisterStore(name, su.Schema, st, name); err != nil {
+				return err
+			}
+			fmt.Printf("ingested %s: %d records from %s into store %s\n", name, len(records), path, *storeDir)
+			continue
+		case st != nil:
+			if err := svc.RegisterStore(name, su.Schema, st, path); err != nil {
+				return err
+			}
+			ds, _ := svc.Dataset(name)
+			fmt.Printf("registered %s: %d records from store file %s (footer cardinality, no scan)\n",
+				name, ds.NumRecords, path)
+			continue
 		}
 		if *inMem {
 			data, err := os.ReadFile(path)
@@ -159,8 +228,12 @@ func run() error {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	st := svc.Stats()
+	stats := svc.Stats()
 	fmt.Printf("casmserve: drained cleanly (%d queries served, %d plan-cache hits)\n",
-		st.Evaluations, st.PlanCacheHits)
+		stats.Evaluations, stats.PlanCacheHits)
+	if rc := stats.ResultCache; rc != nil {
+		fmt.Printf("casmserve: result cache %d hits, %d misses, %d bytes materialized, %d evictions\n",
+			rc.Hits, rc.Misses, rc.BytesMaterialized, rc.Evictions)
+	}
 	return nil
 }

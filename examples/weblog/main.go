@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 
 	casm "github.com/casm-project/casm"
@@ -80,15 +81,23 @@ func main() {
 		}
 	}
 
-	// Store the log in the replicated DFS and evaluate from there.
-	fs, err := casm.NewFS(casm.FSConfig{BlockSize: 1 << 20, Replication: 3, NumNodes: 10, Seed: 1})
+	// Store the log in the persistent replicated block store and evaluate
+	// from there. A real deployment would point Dir at durable storage and
+	// reopen it across restarts; the example uses a scratch directory.
+	dir, err := os.MkdirTemp("", "casm-weblog")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := casm.WriteRecords(fs, "sessions.log", records, 1<<20); err != nil {
+	defer os.RemoveAll(dir)
+	st, err := casm.OpenStore(casm.StoreConfig{Dir: dir, BlockSize: 1 << 20, Replication: 3, NumNodes: 10, Seed: 1})
+	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := casm.DFSDataset(schema, fs, "sessions.log")
+	defer st.Close()
+	if err := casm.WriteRecords(st, "sessions.log", schema, records); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := casm.StoreDataset(schema, st, "sessions.log")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,354 @@
+package blockstore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// ResultCache materializes per-(dataset identity × measure fingerprint
+// × block key) reducer output so repeated or overlapping workflows skip
+// local evaluation for blocks whose results are already known — the
+// HaCube cuboid-reuse idea generalized to composite subset measures.
+//
+// Entries live in a byte-bounded in-memory LRU and are persisted
+// write-behind to the store's cache file by a single flusher goroutine.
+// A query manifest (the set of entry keys a full query produced) is
+// enqueued only after its entries, so a crash between cache writes and
+// the manifest commit degrades to per-block reuse: the reload drops any
+// manifest referencing an entry the store doesn't hold.
+//
+// The cached value is an opaque row blob owned by the caller's codec;
+// the cache never interprets it beyond its length.
+
+// CacheStats is a snapshot of result-cache counters.
+type CacheStats struct {
+	Hits              int64 `json:"hits"`
+	Misses            int64 `json:"misses"`
+	Puts              int64 `json:"puts"`
+	BytesMaterialized int64 `json:"bytes_materialized"`
+	BytesServed       int64 `json:"bytes_served"`
+	Evictions         int64 `json:"evictions"`
+	Entries           int   `json:"entries"`
+	BytesInMemory     int64 `json:"bytes_in_memory"`
+	Manifests         int   `json:"manifests"`
+	ManifestHits      int64 `json:"manifest_hits"`
+	ReloadedEntries   int64 `json:"reloaded_entries"`
+	DroppedManifests  int64 `json:"dropped_manifests"`
+}
+
+type cacheEntry struct {
+	key  string
+	rows []byte
+}
+
+type flushOp struct {
+	key  []byte
+	val  []byte
+	done chan struct{} // non-nil: sync barrier, no write
+}
+
+// ResultCache is safe for concurrent use.
+type ResultCache struct {
+	st       *Store // nil: memory-only
+	maxBytes int64
+
+	mu        sync.Mutex
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	manifests map[string][]string
+	curBytes  int64
+	stats     CacheStats
+	closed    bool
+
+	flushCh chan flushOp
+	flushWG sync.WaitGroup
+}
+
+// DefaultCacheBytes bounds the in-memory materialized set when the
+// caller doesn't choose: 64 MiB.
+const DefaultCacheBytes = 64 << 20
+
+// NewResultCache opens a result cache over st (which may be nil for a
+// memory-only cache), reloading persisted entries and manifests from
+// the store's cache file. maxBytes <= 0 selects DefaultCacheBytes.
+func NewResultCache(st *Store, maxBytes int64) (*ResultCache, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	c := &ResultCache{
+		st:        st,
+		maxBytes:  maxBytes,
+		ll:        list.New(),
+		entries:   make(map[string]*list.Element),
+		manifests: make(map[string][]string),
+		flushCh:   make(chan flushOp, 1024),
+	}
+	if st != nil {
+		if err := c.reload(); err != nil {
+			return nil, err
+		}
+		c.flushWG.Add(1)
+		go c.flusher()
+	}
+	return c, nil
+}
+
+// Entry and manifest keys are distinguished by their first byte in the
+// store's cache file.
+const (
+	entryTag    = 'e'
+	manifestTag = 'm'
+)
+
+// AppendEntryKeyPrefix appends the (dataset, fingerprint) portion of an
+// entry key; the caller appends the block key per probe. Dataset
+// identity is the registered tag plus cardinality, so re-ingesting more
+// records under the same name invalidates rather than corrupts.
+func AppendEntryKeyPrefix(dst []byte, datasetTag, fingerprint string, numRecords int64) []byte {
+	dst = append(dst, entryTag)
+	dst = appendLenPrefixed(dst, []byte(datasetTag))
+	dst = appendLenPrefixed(dst, []byte(fingerprint))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(numRecords))
+	return append(dst, tmp[:n]...)
+}
+
+// QueryKey names a full query's manifest: dataset identity × measure
+// fingerprint × the plan that carved the blocks (block keys depend on
+// the distribution key and clustering factor).
+func QueryKey(datasetTag, fingerprint string, numRecords int64, planKey string) string {
+	b := []byte{manifestTag}
+	b = appendLenPrefixed(b, []byte(datasetTag))
+	b = appendLenPrefixed(b, []byte(fingerprint))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(numRecords))
+	b = append(b, tmp[:n]...)
+	b = appendLenPrefixed(b, []byte(planKey))
+	return string(b)
+}
+
+func appendLenPrefixed(dst, v []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(v)))
+	dst = append(dst, tmp[:n]...)
+	return append(dst, v...)
+}
+
+// reload pulls persisted entries and manifests back in, then drops
+// manifests with missing entries (crash between entry flush and
+// manifest commit, or an entry evicted beyond the persisted set) and
+// evicts down to the byte bound.
+func (c *ResultCache) reload() error {
+	err := c.st.ScanRaw(CacheFile, func(key, payload []byte) error {
+		switch {
+		case len(key) > 0 && key[0] == entryTag:
+			c.insert(string(key), append([]byte(nil), payload...))
+			c.stats.ReloadedEntries++
+		case len(key) > 0 && key[0] == manifestTag:
+			keys, err := decodeManifest(payload)
+			if err != nil {
+				return err
+			}
+			c.manifests[string(key)] = keys
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for qk, keys := range c.manifests {
+		for _, ek := range keys {
+			if _, ok := c.entries[ek]; !ok {
+				delete(c.manifests, qk)
+				c.stats.DroppedManifests++
+				break
+			}
+		}
+	}
+	c.evictTo(c.maxBytes)
+	return nil
+}
+
+func encodeManifest(keys []string) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(keys)))
+	out := append([]byte(nil), tmp[:n]...)
+	for _, k := range keys {
+		out = appendLenPrefixed(out, []byte(k))
+	}
+	return out
+}
+
+func decodeManifest(b []byte) ([]string, error) {
+	cnt, k := binary.Uvarint(b)
+	if k <= 0 {
+		return nil, fmt.Errorf("blockstore: corrupt manifest header")
+	}
+	off := k
+	out := make([]string, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		l, k := binary.Uvarint(b[off:])
+		if k <= 0 || int(l) > len(b)-off-k {
+			return nil, fmt.Errorf("blockstore: corrupt manifest entry %d", i)
+		}
+		off += k
+		out = append(out, string(b[off:off+int(l)]))
+		off += int(l)
+	}
+	return out, nil
+}
+
+// insert adds or replaces an entry at the LRU front. Caller holds c.mu
+// (or is single-threaded during reload).
+func (c *ResultCache) insert(key string, rows []byte) {
+	if el, ok := c.entries[key]; ok {
+		ce := el.Value.(*cacheEntry)
+		c.curBytes += int64(len(rows)) - int64(len(ce.rows))
+		ce.rows = rows
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, rows: rows})
+	c.entries[key] = el
+	c.curBytes += int64(len(rows))
+}
+
+func (c *ResultCache) evictTo(bound int64) {
+	for c.curBytes > bound {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		ce := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.entries, ce.key)
+		c.curBytes -= int64(len(ce.rows))
+		c.stats.Evictions++
+	}
+}
+
+// Get returns the cached row blob for an entry key. The returned slice
+// is owned by the cache; callers must not modify it.
+func (c *ResultCache) Get(key []byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[string(key)]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	ce := el.Value.(*cacheEntry)
+	c.stats.Hits++
+	c.stats.BytesServed += int64(len(ce.rows))
+	return ce.rows, true
+}
+
+// Put materializes one block's rows. The cache takes ownership of rows;
+// key is copied. Persistence is write-behind.
+func (c *ResultCache) Put(key, rows []byte) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.insert(string(key), rows)
+	c.stats.Puts++
+	c.stats.BytesMaterialized += int64(len(rows))
+	c.evictTo(c.maxBytes)
+	if c.st != nil {
+		// Sending under c.mu serializes against Close; the flusher
+		// never takes c.mu, so a full channel drains independently.
+		c.flushCh <- flushOp{key: append([]byte(nil), key...), val: rows}
+	}
+	c.mu.Unlock()
+}
+
+// Manifest returns the entry keys a committed query produced, if known.
+func (c *ResultCache) Manifest(queryKey string) ([]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys, ok := c.manifests[queryKey]
+	if ok {
+		c.stats.ManifestHits++
+	}
+	return keys, ok
+}
+
+// Commit records a completed query's entry set. The manifest is
+// enqueued behind the entries it references (single FIFO flusher), so
+// a persisted manifest implies persisted entries.
+func (c *ResultCache) Commit(queryKey string, entryKeys []string) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	keys := append([]string(nil), entryKeys...)
+	c.manifests[queryKey] = keys
+	if c.st != nil {
+		c.flushCh <- flushOp{key: []byte(queryKey), val: encodeManifest(keys)}
+	}
+	c.mu.Unlock()
+}
+
+func (c *ResultCache) flusher() {
+	defer c.flushWG.Done()
+	for op := range c.flushCh {
+		if op.done != nil {
+			close(op.done)
+			continue
+		}
+		// A write failure here loses persistence, not correctness: the
+		// in-memory entry still serves this process, and reload just
+		// sees fewer entries.
+		_ = c.st.PutRaw(CacheFile, op.key, op.val)
+	}
+}
+
+// Flush blocks until every previously enqueued write reached the store.
+func (c *ResultCache) Flush() {
+	c.mu.Lock()
+	if c.closed || c.st == nil {
+		c.mu.Unlock()
+		return
+	}
+	done := make(chan struct{})
+	c.flushCh <- flushOp{done: done}
+	c.mu.Unlock()
+	<-done
+	_ = c.st.Flush()
+}
+
+// Close flushes pending writes and stops the flusher. The cache serves
+// only misses afterwards.
+func (c *ResultCache) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	st := c.st
+	if st != nil {
+		close(c.flushCh)
+	}
+	c.mu.Unlock()
+	if st != nil {
+		c.flushWG.Wait()
+		_ = st.Flush()
+	}
+}
+
+// Stats returns a counter snapshot.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	st.BytesInMemory = c.curBytes
+	st.Manifests = len(c.manifests)
+	return st
+}

@@ -1,0 +1,155 @@
+package blockstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: t.TempDir(), Replication: 2, NumNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func ek(i int) []byte {
+	key := AppendEntryKeyPrefix(nil, "svc:data", "fp01", 1000)
+	return append(key, byte(i))
+}
+
+func TestResultCachePutGetLRU(t *testing.T) {
+	c, err := NewResultCache(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.Get(ek(0)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(ek(0), make([]byte, 60))
+	c.Put(ek(1), make([]byte, 60)) // evicts entry 0
+	if _, ok := c.Get(ek(0)); ok {
+		t.Fatal("evicted entry still served")
+	}
+	if rows, ok := c.Get(ek(1)); !ok || len(rows) != 60 {
+		t.Fatal("expected hit on entry 1")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResultCachePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Replication: 2, NumNodes: 3}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewResultCache(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 5; i++ {
+		k := ek(i)
+		c.Put(k, []byte(fmt.Sprintf("rows-%d", i)))
+		keys = append(keys, string(k))
+	}
+	qk := QueryKey("svc:data", "fp01", 1000, "plan")
+	c.Commit(qk, keys)
+	c.Close()
+	s.Close()
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c2, err := NewResultCache(s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for i := 0; i < 5; i++ {
+		rows, ok := c2.Get(ek(i))
+		if !ok || !bytes.Equal(rows, []byte(fmt.Sprintf("rows-%d", i))) {
+			t.Fatalf("entry %d lost across reopen", i)
+		}
+	}
+	got, ok := c2.Manifest(qk)
+	if !ok || len(got) != 5 {
+		t.Fatalf("manifest lost across reopen: %v %v", got, ok)
+	}
+	if st := c2.Stats(); st.ReloadedEntries != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestManifestDroppedWhenEntryMissing(t *testing.T) {
+	// Crash between entry flush and manifest commit, inverted: a
+	// manifest that references an entry the store never got must be
+	// dropped on reload, leaving per-block reuse only.
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Replication: 2, NumNodes: 3}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewResultCache(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(ek(0), []byte("rows-0"))
+	qk := QueryKey("svc:data", "fp01", 1000, "plan")
+	// Manifest claims two entries but only one was ever written.
+	c.Commit(qk, []string{string(ek(0)), string(ek(1))})
+	c.Close()
+	s.Close()
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	c2, err := NewResultCache(s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, ok := c2.Manifest(qk); ok {
+		t.Fatal("manifest with missing entry survived reload")
+	}
+	if _, ok := c2.Get(ek(0)); !ok {
+		t.Fatal("surviving entry should still serve per-block reuse")
+	}
+	if st := c2.Stats(); st.DroppedManifests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEntryKeysDistinguishIdentity(t *testing.T) {
+	base := AppendEntryKeyPrefix(nil, "svc:data", "fp01", 1000)
+	otherFP := AppendEntryKeyPrefix(nil, "svc:data", "fp02", 1000)
+	otherCard := AppendEntryKeyPrefix(nil, "svc:data", "fp01", 1001)
+	otherTag := AppendEntryKeyPrefix(nil, "svc:datb", "fp01", 1000)
+	for i, other := range [][]byte{otherFP, otherCard, otherTag} {
+		if bytes.Equal(base, other) {
+			t.Fatalf("prefix %d collides with base", i)
+		}
+	}
+	c, err := NewResultCache(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Put(append(append([]byte(nil), base...), 0x7), []byte("rows"))
+	if _, ok := c.Get(append(append([]byte(nil), otherCard...), 0x7)); ok {
+		t.Fatal("cardinality change did not invalidate")
+	}
+}

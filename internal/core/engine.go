@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/costmodel"
 	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/distkey"
@@ -153,6 +154,18 @@ type Config struct {
 	// that one matches by key generalization and still re-scores; a
 	// decision-cache hit re-plans nothing.
 	DecisionCache *optimizer.DecisionCache
+	// ResultCache, when non-nil, materializes each block's reducer
+	// output under (dataset identity × measure fingerprint × block key)
+	// and probes it before local evaluation, so repeated or structurally
+	// identical workflows skip recomputing blocks they have already
+	// answered. A full-query manifest additionally lets an identical
+	// repeated query skip the job (and its input scan) entirely.
+	// Reuse needs a settled dataset identity: only StageFull runs over
+	// datasets with a non-empty Tag and known NumRecords participate
+	// (the batch path always recomputes). Correctness leans on the
+	// pinned determinism of per-block results: byte-identical answers
+	// across cache states are property-tested.
+	ResultCache *blockstore.ResultCache
 	// Seed drives sampling.
 	Seed int64
 	// FailureInjector, when non-nil, is invoked at each map-task start
@@ -232,6 +245,10 @@ type Result struct {
 	// keyed decision cache (Config.DecisionCache) — no optimizer work,
 	// no sampling pass, was performed for this run.
 	PlanCached bool
+	// ResultReused indicates the whole answer was assembled from the
+	// materialized result cache — no job ran, no input bytes were
+	// scanned.
+	ResultReused bool
 }
 
 // TotalRecords returns the total number of measure records.

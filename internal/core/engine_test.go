@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/cube"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/distkey"
 	"github.com/casm-project/casm/internal/localeval"
 	"github.com/casm-project/casm/internal/measure"
@@ -512,14 +512,14 @@ func TestSaveLoadResults(t *testing.T) {
 	w := su.Q3()
 	res := runEngine(t, Config{NumReducers: 3}, w, ds)
 
-	fs, err := dfs.New(dfs.Config{BlockSize: 2048, Replication: 2, NumNodes: 4, Seed: 1})
+	st, err := blockstore.Open(blockstore.Config{Dir: t.TempDir(), BlockSize: 2048, Replication: 2, NumNodes: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := SaveResults(fs, "out", res, 2048); err != nil {
+	if err := SaveResults(st, "out", res, 2048); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadResults(fs, "out", w)
+	back, err := LoadResults(st, "out", w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -546,7 +546,7 @@ func TestSaveLoadResults(t *testing.T) {
 	if err := other.AddBasic("unrelated", su.Schema.GrainAll(), measure.Spec{Func: measure.Count}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadResults(fs, "out", other); err == nil {
+	if _, err := LoadResults(st, "out", other); err == nil {
 		t.Error("foreign workflow accepted")
 	}
 }

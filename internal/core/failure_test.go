@@ -6,7 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/mr"
 	"github.com/casm-project/casm/internal/workload"
 )
@@ -77,20 +77,21 @@ func TestEnginePermanentFailureSurfaces(t *testing.T) {
 	}
 }
 
-// TestEngineReadsThroughReplicaLoss: losing DFS nodes (but not every
+// TestEngineReadsThroughReplicaLoss: losing storage nodes (but not every
 // replica) must not change the result.
 func TestEngineReadsThroughReplicaLoss(t *testing.T) {
 	su := workload.NewSuite()
 	records := su.Generate(2000, workload.Uniform, 13)
-	fs, err := dfs.New(dfs.Config{BlockSize: 4096, Replication: 3, NumNodes: 6, Seed: 2})
+	st, err := blockstore.Open(blockstore.Config{Dir: t.TempDir(), BlockSize: 4096, Replication: 3, NumNodes: 6, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := workload.WriteDFS(fs, "data", records, 4096); err != nil {
+	defer st.Close()
+	if err := workload.WriteStore(st, "data", su.Schema, records); err != nil {
 		t.Fatal(err)
 	}
 	mk := func() *Dataset {
-		return &Dataset{Schema: su.Schema, Input: mr.NewDFSInput(fs, "data"), NumRecords: int64(len(records))}
+		return &Dataset{Schema: su.Schema, Input: mr.NewStoreInput(st, "data"), NumRecords: int64(len(records))}
 	}
 	w := su.Q2()
 	want := oracle(t, w, records)
@@ -101,17 +102,17 @@ func TestEngineReadsThroughReplicaLoss(t *testing.T) {
 
 	// Two of six nodes down: every block still has a live replica
 	// (replication 3), so the run succeeds with the same answer.
-	fs.FailNode(0)
-	fs.FailNode(1)
+	st.FailNode(0)
+	st.FailNode(1)
 	res2 := runEngine(t, Config{NumReducers: 3}, w, mk())
 	compare(t, "degraded", want, flatten(res2))
 
 	// Losing enough nodes to kill some block's last replica fails the
 	// job loudly.
-	fs.FailNode(2)
-	fs.FailNode(3)
-	fs.FailNode(4)
-	fs.FailNode(5)
+	st.FailNode(2)
+	st.FailNode(3)
+	st.FailNode(4)
+	st.FailNode(5)
 	eng, err := NewEngine(Config{NumReducers: 3, TempDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)

@@ -5,23 +5,20 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/cube"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/workflow"
 )
 
-// SaveResults persists a result's measure records as a block-aligned DFS
-// file, the way the paper's jobs write their output back to the
-// distributed file system. Records are framed as
-// uvarint(len(measure)) ‖ measure ‖ coords ‖ float64(value) and sorted by
-// (measure, region key) so files are deterministic.
-func SaveResults(fs *dfs.FS, name string, res *Result, blockSize int) error {
-	type row struct {
-		measure string
-		payload []byte
-	}
-	var rows []row
+// SaveResults persists a result's measure records as a block store file,
+// the way the paper's jobs write their output back to the distributed
+// file system. Records are framed as
+// uvarint(len(measure)) ‖ measure ‖ coords ‖ float64(value), sorted by
+// (measure, region key), and carved into ≤blockSize blocks under
+// ascending big-endian block keys, so files are deterministic.
+func SaveResults(st *blockstore.Store, name string, res *Result, blockSize int) error {
+	var rows [][]byte
 	for m, records := range res.Measures {
 		for _, r := range records {
 			buf := make([]byte, 0, len(m)+2+len(r.Region.Coord)*3+8)
@@ -29,42 +26,53 @@ func SaveResults(fs *dfs.FS, name string, res *Result, blockSize int) error {
 			buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(m)))]...)
 			buf = append(buf, m...)
 			buf = append(buf, encodeMeasureRecord(r.Region.Coord, r.Value)...)
-			rows = append(rows, row{measure: m, payload: buf})
+			rows = append(rows, buf)
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
-		return string(rows[i].payload) < string(rows[j].payload)
+		return string(rows[i]) < string(rows[j])
 	})
 
-	var data []byte
-	blockStart := 0
+	flush := func(idx int, block []byte) error {
+		var key [4]byte
+		binary.BigEndian.PutUint32(key[:], uint32(idx))
+		return st.PutRaw(name, key[:], block)
+	}
+	var block []byte
+	idx := 0
 	for _, r := range rows {
-		frameLen := len(r.payload) + binary.MaxVarintLen64
-		if len(data)-blockStart+frameLen > blockSize {
-			pad := blockSize - (len(data) - blockStart)
-			data = append(data, make([]byte, pad)...)
-			blockStart = len(data)
+		if len(block) > 0 && len(block)+len(r)+binary.MaxVarintLen64 > blockSize {
+			if err := flush(idx, block); err != nil {
+				return err
+			}
+			idx++
+			block = nil
 		}
 		var err error
-		data, err = recio.AppendFrame(data, r.payload)
+		block, err = recio.AppendFrame(block, r)
 		if err != nil {
 			return err
 		}
 	}
-	return fs.Write(name, data)
+	if len(block) > 0 {
+		if err := flush(idx, block); err != nil {
+			return err
+		}
+	}
+	return st.Flush()
 }
 
 // LoadResults reads a file written by SaveResults, resolving measure
 // grains through the workflow.
-func LoadResults(fs *dfs.FS, name string, w *workflow.Workflow) (map[string][]MeasureRecord, error) {
-	blocks, err := fs.Blocks(name)
+func LoadResults(st *blockstore.Store, name string, w *workflow.Workflow) (map[string][]MeasureRecord, error) {
+	blocks, err := st.Blocks(name)
 	if err != nil {
 		return nil, err
 	}
 	arity := w.Schema().NumAttrs()
 	out := make(map[string][]MeasureRecord)
 	for _, b := range blocks {
-		data, err := fs.ReadBlock(name, b.Index)
+		data, err := st.ReadBlock(name, b.Index)
 		if err != nil {
 			return nil, err
 		}

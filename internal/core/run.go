@@ -237,6 +237,10 @@ type jobStart struct {
 	plan  optimizer.Plan
 	early bool
 	arity int
+	// reuse is the run's result-reuse session (nil when reuse does not
+	// apply). The job fills it per block; only a consumer that drains the
+	// job to completion may commit its manifest.
+	reuse *resultReuse
 }
 
 // startJob builds the evaluation job for the workflow under the given
@@ -318,6 +322,8 @@ func (e *Engine) startJob(ctx context.Context, w *workflow.Workflow, ds *Dataset
 		}
 	}
 
+	ru := e.newResultReuse(w, ds, plan)
+
 	reduceFn := func(ctx *mr.ReduceCtx, blockKey []byte, values *mr.GroupIter) error {
 		rl := ctx.Local.(*reduceLocal)
 		es := rl.ev
@@ -331,6 +337,27 @@ func (e *Engine) startJob(ctx context.Context, w *workflow.Workflow, ds *Dataset
 			ctx.Stats.GroupSortItems += int64(es.SortLoaded())
 			ctx.Stats.EvalArenaBytes = es.ArenaBytes
 			return nil
+		}
+		// Result-cache probe: a hit serves the block's owned rows straight
+		// from the cache (the shuffled records are drained unread, their
+		// evaluation skipped); a miss evaluates normally and captures the
+		// emitted rows for the cache on the way out.
+		fill := false
+		if ru != nil {
+			rl.cacheKey = append(append(rl.cacheKey[:0], ru.prefix...), blockKey...)
+			if rows, ok := ru.rc.Get(rl.cacheKey); ok {
+				ctx.Stats.ResultCacheHits++
+				ctx.Stats.ResultCacheBytes += int64(len(rows))
+				if err := values.Drain(); err != nil {
+					return err
+				}
+				ru.note(rl.cacheKey)
+				ctx.Stats.KeyCacheHits = rl.dk.Hits
+				return ru.emitCached(ctx, rl, rows)
+			}
+			ctx.Stats.ResultCacheMisses++
+			fill = true
+			rl.capture = rl.capture[:0]
 		}
 		var results []localeval.Result
 		var est localeval.Stats
@@ -385,6 +412,21 @@ func (e *Engine) startJob(ctx context.Context, w *workflow.Workflow, ds *Dataset
 				rl.names[r.Measure] = kb
 			}
 			ctx.EmitStable(kb, append([]byte(nil), rl.enc...))
+			if fill {
+				idx, ok := ru.canonIdx[r.Measure]
+				if !ok {
+					// Unmappable measure name: drop the fill and poison the
+					// manifest rather than cache an incomplete block.
+					fill = false
+					ru.markIncomplete()
+					continue
+				}
+				rl.capture = appendCachedRow(rl.capture, idx, rl.enc)
+			}
+		}
+		if fill {
+			ru.rc.Put(rl.cacheKey, append([]byte(nil), rl.capture...))
+			ru.note(rl.cacheKey)
 		}
 		ctx.Stats.KeyCacheHits = sess.Hits
 		ctx.Stats.EvalArenaBytes = es.ArenaBytes
@@ -438,7 +480,7 @@ func (e *Engine) startJob(ctx context.Context, w *workflow.Workflow, ds *Dataset
 	if err != nil {
 		return nil, err
 	}
-	return &jobStart{pipe: pipe, plan: plan, early: early, arity: arity}, nil
+	return &jobStart{pipe: pipe, plan: plan, early: early, arity: arity, reuse: ru}, nil
 }
 
 // RunWithPlanContext executes the workflow under an explicit plan
@@ -452,6 +494,14 @@ func (e *Engine) startJob(ctx context.Context, w *workflow.Workflow, ds *Dataset
 // batch slices recycle through the transport pool, so peak memory holds
 // the decoded result, not the decoded result plus its full wire form.
 func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, ds *Dataset, outcome PlanOutcome) (*Result, error) {
+	// Whole-query reuse: a committed manifest for this exact (dataset,
+	// workflow structure, plan) assembles the answer without a job — no
+	// input bytes scanned, no shuffle. Falls through on any gap.
+	if ru := e.newResultReuse(w, ds, outcome.Plan); ru != nil {
+		if out, ok := e.resultFromCache(w, ds, ru, outcome); ok {
+			return out, nil
+		}
+	}
 	js, err := e.startJob(ctx, w, ds, outcome)
 	if err != nil {
 		return nil, err
@@ -540,6 +590,11 @@ func (e *Engine) RunWithPlanContext(ctx context.Context, w *workflow.Workflow, d
 	}
 	out.Estimate = EstimateFromStats(e.cfg.Cluster, out.Stats)
 	out.Estimate.ReduceSeconds += outcome.SampleSeconds
+	// The run drained every reduce group, so its touched-entry set is the
+	// complete answer: publish the manifest for whole-query reuse.
+	if js.reuse != nil {
+		js.reuse.commit()
+	}
 	return out, nil
 }
 
@@ -579,6 +634,10 @@ func EstimateFromStats(c costmodel.Cluster, js mr.JobStats) costmodel.Estimate {
 			EvalArenaBytes: t.EvalArenaBytes,
 			AggPoolHits:    t.AggPoolHits,
 			WindowLookups:  t.WindowLookups,
+
+			ResultCacheHits:   t.ResultCacheHits,
+			ResultCacheMisses: t.ResultCacheMisses,
+			ResultCacheBytes:  t.ResultCacheBytes,
 		}
 	}
 	return costmodel.EstimateJob(c, mw, rw)
@@ -845,6 +904,11 @@ type reduceLocal struct {
 	// the framework uncopied, so they must never be scratch).
 	enc   []byte
 	names map[string][]byte
+	// cacheKey and capture are the result-reuse scratch: the probe key of
+	// the current group and the cached-row encoding of its emitted output
+	// (both copied before the cache retains them).
+	cacheKey []byte
+	capture  []byte
 }
 
 // loadGroup streams a group's raw records straight into the evaluator

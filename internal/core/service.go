@@ -4,12 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/exec"
+	"github.com/casm-project/casm/internal/mr"
 	"github.com/casm-project/casm/internal/optimizer"
 	"github.com/casm-project/casm/internal/workflow"
 )
@@ -35,6 +39,16 @@ type ServiceConfig struct {
 	// (<= 0 = the exec package defaults).
 	PerTenantInFlight int
 	AdmissionQueue    int
+	// Store, when non-nil, is the service's persistent block store: the
+	// backing for RegisterStore datasets, the write-behind home of the
+	// owned result cache, and the memo that lets RegisterFile skip
+	// recounting files it has seen before. The caller keeps ownership
+	// (Drain flushes it but does not close it).
+	Store *blockstore.Store
+	// ResultCacheBytes bounds the owned result cache built when
+	// Engine.ResultCache is nil (> 0, or Store non-nil with 0 for the
+	// default budget). When both are zero/nil, result reuse is off.
+	ResultCacheBytes int64
 }
 
 // Service is the resident, multi-tenant form of the engine: where Engine
@@ -54,6 +68,10 @@ type Service struct {
 	execu   *exec.Executor
 	ownExec bool
 	dcache  *optimizer.DecisionCache
+
+	store    *blockstore.Store
+	rcache   *blockstore.ResultCache
+	ownCache bool
 
 	mu       sync.Mutex
 	datasets map[string]*Dataset
@@ -81,10 +99,26 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		ecfg.DecisionCache = optimizer.NewDecisionCache(cfg.DecisionCacheSize)
 	}
 	s.dcache = ecfg.DecisionCache
+	s.store = cfg.Store
+	if ecfg.ResultCache == nil && (cfg.Store != nil || cfg.ResultCacheBytes > 0) {
+		rc, err := blockstore.NewResultCache(cfg.Store, cfg.ResultCacheBytes)
+		if err != nil {
+			if s.ownExec {
+				s.execu.Close()
+			}
+			return nil, fmt.Errorf("core: opening result cache: %w", err)
+		}
+		ecfg.ResultCache = rc
+		s.ownCache = true
+	}
+	s.rcache = ecfg.ResultCache
 	eng, err := NewEngine(ecfg)
 	if err != nil {
 		if s.ownExec {
 			s.execu.Close()
+		}
+		if s.ownCache {
+			s.rcache.Close()
 		}
 		return nil, err
 	}
@@ -142,13 +176,66 @@ func (s *Service) Register(name string, ds *Dataset) error {
 }
 
 // RegisterFile opens a casmgen-format file as a streaming dataset and
-// registers it; see FileDataset and Register.
+// registers it; see FileDataset and Register. With a configured Store,
+// the file's cardinality is memoized in store metadata keyed by the
+// file's identity (path, size, mtime, schema digest), so a restarted
+// service re-registers known files without the counting scan.
 func (s *Service) RegisterFile(name string, schema *cube.Schema, path string, blockSize int) error {
 	ds, err := FileDataset(schema, path, blockSize)
 	if err != nil {
 		return err
 	}
+	if s.store != nil {
+		if fi, statErr := os.Stat(path); statErr == nil {
+			key := fmt.Sprintf("filecard/%s?size=%d&mtime=%d&schema=%s",
+				path, fi.Size(), fi.ModTime().UnixNano(), workflow.SchemaDigest(schema))
+			if v, ok := s.store.GetMeta(key); ok {
+				if n, perr := strconv.ParseInt(string(v), 10, 64); perr == nil && n > 0 {
+					ds.NumRecords = n
+				}
+			}
+			if ds.NumRecords == 0 {
+				n, cerr := CountRecords(ds)
+				if cerr != nil {
+					return fmt.Errorf("core: counting dataset %q: %w", name, cerr)
+				}
+				if n == 0 {
+					n = 1
+				}
+				ds.NumRecords = n
+				if merr := s.store.PutMeta(key, []byte(strconv.FormatInt(n, 10))); merr != nil {
+					return fmt.Errorf("core: memoizing cardinality of %q: %w", name, merr)
+				}
+			}
+		}
+	}
 	return s.Register(name, ds)
+}
+
+// RegisterStore registers a block store file as a dataset. Cardinality
+// and schema identity come from the store's own block footers and
+// metadata — no scan at all — so a restarted service reopens its
+// datasets exactly as it left them.
+func (s *Service) RegisterStore(name string, schema *cube.Schema, st *blockstore.Store, file string) error {
+	if st == nil {
+		st = s.store
+	}
+	if st == nil {
+		return fmt.Errorf("core: RegisterStore %q: no store", name)
+	}
+	info, err := st.FileInfo(file)
+	if err != nil {
+		return fmt.Errorf("core: opening store file %q: %w", file, err)
+	}
+	if d := workflow.SchemaDigest(schema); info.SchemaDigest != "" && info.SchemaDigest != d {
+		return fmt.Errorf("core: store file %q was ingested under a different schema", file)
+	}
+	return s.Register(name, &Dataset{
+		Schema:     schema,
+		Input:      mr.NewStoreInput(st, file),
+		NumRecords: info.Records,
+		Tag:        st.DatasetTag(file),
+	})
 }
 
 // Dataset returns the registered dataset, or ErrUnknownDataset.
@@ -287,6 +374,21 @@ func (s *Service) Drain(ctx context.Context) error {
 	if s.ownExec {
 		s.drain.Do(s.execu.Close)
 	}
+	// Materialized results and their manifests reach the store before the
+	// process exits; a restart then serves warm queries from disk. An
+	// owned cache is closed outright, a caller-provided one only flushed.
+	if s.rcache != nil {
+		if s.ownCache {
+			s.rcache.Close()
+		} else {
+			s.rcache.Flush()
+		}
+	}
+	if s.store != nil {
+		if err := s.store.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -308,6 +410,12 @@ type ServiceStats struct {
 	// Evaluations counts completed query evaluations (batch members
 	// counted individually).
 	Evaluations int64 `json:"evaluations"`
+	// ResultCache snapshots the materialized result cache (nil when
+	// result reuse is off).
+	ResultCache *blockstore.CacheStats `json:"result_cache,omitempty"`
+	// Store snapshots the persistent block store's health and traffic
+	// counters (nil when the service has no store).
+	Store *blockstore.Stats `json:"store,omitempty"`
 }
 
 // Stats snapshots the service.
@@ -318,6 +426,14 @@ func (s *Service) Stats() ServiceStats {
 		PlanCacheMisses: s.dcache.Misses(),
 		PlanCacheSize:   s.dcache.Len(),
 		Datasets:        s.Datasets(),
+	}
+	if s.rcache != nil {
+		cs := s.rcache.Stats()
+		st.ResultCache = &cs
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
 	}
 	s.mu.Lock()
 	st.Evaluations = s.evals

@@ -127,6 +127,14 @@ type ReduceWork struct {
 	EvalArenaBytes int64 // high-water evaluator arena footprint
 	AggPoolHits    int64 // aggregators recycled from the session pool
 	WindowLookups  int64 // sibling-window probes
+
+	// Result-cache counters, also priced at zero: a cache hit's saving
+	// shows up as the EvalRecords the reducer never scanned, so pricing
+	// the counters themselves would double-count (and a cold run with
+	// the cache enabled must stay bit-identical to one without it).
+	ResultCacheHits   int64 // groups served from the materialized result cache
+	ResultCacheMisses int64 // groups evaluated and then materialized
+	ResultCacheBytes  int64 // cached result bytes served
 }
 
 func nLogN(n int64) float64 {

@@ -119,6 +119,9 @@ func mrStatsScaled(js mr.JobStats, rep int64) mr.JobStats {
 		t.EvalArenaBytes *= rep
 		t.AggPoolHits *= rep
 		t.WindowLookups *= rep
+		t.ResultCacheHits *= rep
+		t.ResultCacheMisses *= rep
+		t.ResultCacheBytes *= rep
 		out.ReduceTasks = append(out.ReduceTasks, t)
 	}
 	return out

@@ -3,10 +3,11 @@ package figures
 import (
 	"context"
 	"fmt"
+	"os"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/core"
 	"github.com/casm-project/casm/internal/costmodel"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/exec"
 	"github.com/casm-project/casm/internal/mr"
 	"github.com/casm-project/casm/internal/recio"
@@ -91,19 +92,25 @@ func MorselSkewPanel(ctx context.Context, cfg Config) (*MorselSkew, error) {
 	}
 	blockSize := len(framed)/morselSkewSplits + 1<<10
 	p.MorselBytes = blockSize / 16
-	fs, err := dfs.New(dfs.Config{BlockSize: blockSize, Replication: 1, NumNodes: 4, Seed: cfg.Seed})
+	dir, err := os.MkdirTemp(cfg.TempDir, "casm-morselskew")
 	if err != nil {
 		return nil, err
 	}
-	if err := workload.WriteDFS(fs, "skew", records, blockSize); err != nil {
+	defer os.RemoveAll(dir)
+	st, err := blockstore.Open(blockstore.Config{Dir: dir, BlockSize: blockSize, Replication: 1, NumNodes: 4, Seed: cfg.Seed})
+	if err != nil {
 		return nil, err
 	}
-	blocks, err := fs.Blocks("skew")
+	defer st.Close()
+	if err := workload.WriteStore(st, "skew", su.Schema, records); err != nil {
+		return nil, err
+	}
+	blocks, err := st.Blocks("skew")
 	if err != nil {
 		return nil, err
 	}
 	p.Splits = len(blocks)
-	ds := &core.Dataset{Schema: su.Schema, Input: mr.NewDFSInput(fs, "skew"), NumRecords: int64(len(records))}
+	ds := &core.Dataset{Schema: su.Schema, Input: mr.NewStoreInput(st, "skew"), NumRecords: int64(len(records))}
 	shapes, err := morselShapes(ds.Input, p.MorselBytes)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,177 @@
+package figures
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/casm-project/casm/internal/blockstore"
+	"github.com/casm-project/casm/internal/core"
+	"github.com/casm-project/casm/internal/mr"
+	"github.com/casm-project/casm/internal/workload"
+)
+
+// ResultReuse is the cold-vs-warm materialized-result study: the same
+// query runs twice against a persistent store-backed dataset with the
+// result cache enabled. The cold run executes the full job and fills
+// per-(block, fingerprint) entries plus a whole-query manifest; the warm
+// run assembles the answer from the manifest without scanning any input.
+// Like MorselSkew and SharedScan, it is a reproduction-extension study —
+// casmbench emits it outside the Panels map so casmbenchdiff never
+// compares it across commits.
+type ResultReuse struct {
+	Records int    `json:"records"`
+	Query   string `json:"query"`
+	// ColdSeconds / WarmSeconds are simulated response times at paper
+	// magnitude (counters scaled by Config.Represent, like the Figure 4
+	// panels); the warm run pays one task overhead to assemble from
+	// cache instead of a full map/shuffle/reduce.
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	// ColdInputBytes / WarmInputBytes are the real bytes scanned from the
+	// store; a manifest-served warm run reads zero.
+	ColdInputBytes int64                  `json:"cold_input_bytes"`
+	WarmInputBytes int64                  `json:"warm_input_bytes"`
+	ColdWall       float64                `json:"cold_wall_seconds"`
+	WarmWall       float64                `json:"warm_wall_seconds"`
+	Speedup        float64                `json:"speedup"`
+	Reused         bool                   `json:"reused"`
+	Identical      bool                   `json:"identical"`
+	Cache          *blockstore.CacheStats `json:"result_cache"`
+}
+
+// ResultReusePanel runs q2 cold then warm over a store-backed dataset.
+func ResultReusePanel(ctx context.Context, cfg Config) (*ResultReuse, error) {
+	cfg = cfg.withDefaults()
+	su := workload.NewSuite()
+	p := &ResultReuse{Records: cfg.n(240_000), Query: "q2"}
+	records, err := su.GenerateOpts(workload.GenOpts{N: p.Records, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp(cfg.TempDir, "casm-resultreuse")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := blockstore.Open(blockstore.Config{Dir: dir, BlockSize: 1 << 20, Replication: 2, NumNodes: 4, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	if err := workload.WriteStore(st, "reuse", su.Schema, records); err != nil {
+		return nil, err
+	}
+	ds := &core.Dataset{
+		Schema:     su.Schema,
+		Input:      mr.NewStoreInput(st, "reuse"),
+		NumRecords: int64(len(records)),
+		Tag:        "store:reuse",
+	}
+	rc, err := blockstore.NewResultCache(st, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	eng, err := core.NewEngine(core.Config{
+		NumReducers: cfg.Reducers,
+		Executor:    cfg.Executor,
+		TempDir:     cfg.TempDir,
+		ResultCache: rc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w, err := su.Query(2)
+	if err != nil {
+		return nil, err
+	}
+
+	cold, err := eng.EvaluateContext(ctx, w, ds)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := eng.EvaluateContext(ctx, w, ds)
+	if err != nil {
+		return nil, err
+	}
+	p.ColdSeconds = SimSeconds(cold, cfg.Represent)
+	p.WarmSeconds = SimSeconds(warm, cfg.Represent)
+	p.ColdInputBytes = inputBytes(cold.Stats)
+	p.WarmInputBytes = inputBytes(warm.Stats)
+	p.ColdWall = cold.Stats.Wall.Seconds()
+	p.WarmWall = warm.Stats.Wall.Seconds()
+	if p.WarmSeconds > 0 {
+		p.Speedup = p.ColdSeconds / p.WarmSeconds
+	}
+	p.Reused = warm.ResultReused
+	p.Identical = sameMeasures(cold, warm)
+	cs := rc.Stats()
+	p.Cache = &cs
+	return p, nil
+}
+
+func inputBytes(js mr.JobStats) int64 {
+	var n int64
+	for _, t := range js.MapTasks {
+		n += t.BytesRead
+	}
+	return n
+}
+
+// sameMeasures checks the warm result carries exactly the cold result's
+// measure records, in the same canonical order with identical values.
+func sameMeasures(a, b *core.Result) bool {
+	if len(a.Measures) != len(b.Measures) {
+		return false
+	}
+	for name, am := range a.Measures {
+		bm, ok := b.Measures[name]
+		if !ok || len(am) != len(bm) {
+			return false
+		}
+		for i := range am {
+			if am[i].Value != bm[i].Value {
+				return false
+			}
+			ac, bc := am[i].Region.Coord, bm[i].Region.Coord
+			if len(ac) != len(bc) {
+				return false
+			}
+			for j := range ac {
+				if ac[j] != bc[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Table renders the comparison.
+func (p *ResultReuse) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("Materialized result reuse, %s over %d records (cold vs warm, simulated seconds)",
+			p.Query, p.Records),
+		Columns: []string{"run", "simulated (s)", "input MB", "wall (s)", "reused"},
+	}
+	t.Rows = append(t.Rows, []string{
+		"cold", fmt.Sprintf("%.1f", p.ColdSeconds),
+		fmt.Sprintf("%.1f", float64(p.ColdInputBytes)/(1<<20)),
+		fmt.Sprintf("%.2f", p.ColdWall), "no",
+	})
+	reused := "no"
+	if p.Reused {
+		reused = "yes"
+	}
+	t.Rows = append(t.Rows, []string{
+		"warm", fmt.Sprintf("%.1f", p.WarmSeconds),
+		fmt.Sprintf("%.1f", float64(p.WarmInputBytes)/(1<<20)),
+		fmt.Sprintf("%.2f", p.WarmWall), reused,
+	})
+	t.Rows = append(t.Rows, []string{
+		"speedup", fmt.Sprintf("%.1fx", p.Speedup), "", "",
+		fmt.Sprintf("identical=%v hits=%d", p.Identical, p.Cache.Hits),
+	})
+	return t
+}

@@ -72,7 +72,7 @@ func (sp *fileSplit) SizeBytes() int64 { return int64(sp.n) }
 // downstream still references those bytes and is collected afterwards.
 func (sp *fileSplit) Open() (RecordIter, error) {
 	if sp.n == 0 {
-		return &dfsIter{fr: recio.NewFrameReader(nil)}, nil
+		return &storeIter{fr: recio.NewFrameReader(nil)}, nil
 	}
 	f, err := os.Open(sp.path)
 	if err != nil {
@@ -83,5 +83,5 @@ func (sp *fileSplit) Open() (RecordIter, error) {
 	if _, err := f.ReadAt(buf, sp.off); err != nil {
 		return nil, fmt.Errorf("mr: read %s: %w", sp.Label(), err)
 	}
-	return &dfsIter{fr: recio.NewFrameReader(buf)}, nil
+	return &storeIter{fr: recio.NewFrameReader(buf)}, nil
 }

@@ -3,7 +3,7 @@ package mr
 import (
 	"fmt"
 
-	"github.com/casm-project/casm/internal/dfs"
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/recio"
 )
 
@@ -105,71 +105,73 @@ func (sp *memorySplit) Morsels(targetBytes int) ([]Split, error) {
 	return out, nil
 }
 
-// --- DFS input: one split per DFS block, frames decoded by recio ---
+// --- block-store input: one split per store block, frames decoded by recio ---
 
-type dfsInput struct {
-	fs   *dfs.FS
+type storeInput struct {
+	st   *blockstore.Store
 	file string
 }
 
-type dfsSplit struct {
-	fs   *dfs.FS
-	info dfs.BlockInfo
+type storeSplit struct {
+	st   *blockstore.Store
+	info blockstore.BlockInfo
 }
 
-type dfsIter struct {
+type storeIter struct {
 	fr *recio.FrameReader
 }
 
-// NewDFSInput reads a recio-packed file from the DFS, one split per
-// block (records never straddle blocks by construction).
-func NewDFSInput(fs *dfs.FS, file string) Input {
-	return &dfsInput{fs: fs, file: file}
+// NewStoreInput reads a logical file from the block store, one split
+// per block (records never straddle blocks by construction). Each split
+// open is a checksum-verified read that decodes the columnar block back
+// into the recio frame stream; replica failover happens inside the
+// store, and a map task whose replicas are all gone fails and is
+// re-executed by the mr retry machinery once a replica recovers.
+func NewStoreInput(st *blockstore.Store, file string) Input {
+	return &storeInput{st: st, file: file}
 }
 
-func (in *dfsInput) Splits() ([]Split, error) {
-	blocks, err := in.fs.Blocks(in.file)
+func (in *storeInput) Splits() ([]Split, error) {
+	blocks, err := in.st.Blocks(in.file)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Split, len(blocks))
 	for i, b := range blocks {
-		out[i] = &dfsSplit{fs: in.fs, info: b}
+		out[i] = &storeSplit{st: in.st, info: b}
 	}
 	return out, nil
 }
 
-func (sp *dfsSplit) Label() string {
+func (sp *storeSplit) Label() string {
 	return fmt.Sprintf("%s[%d]", sp.info.File, sp.info.Index)
 }
-func (sp *dfsSplit) SizeBytes() int64 { return int64(sp.info.Size) }
-func (sp *dfsSplit) Open() (RecordIter, error) {
-	data, err := sp.fs.ReadBlock(sp.info.File, sp.info.Index)
+func (sp *storeSplit) SizeBytes() int64 { return int64(sp.info.Size) }
+func (sp *storeSplit) Open() (RecordIter, error) {
+	data, err := sp.st.ReadBlock(sp.info.File, sp.info.Index)
 	if err != nil {
 		return nil, err
 	}
-	return &dfsIter{fr: recio.NewFrameReader(data)}, nil
+	return &storeIter{fr: recio.NewFrameReader(data)}, nil
 }
 
-func (it *dfsIter) Next() ([]byte, bool, error) {
+func (it *storeIter) Next() ([]byte, bool, error) {
 	if it.fr == nil { // closed
 		return nil, false, nil
 	}
 	return it.fr.Next()
 }
 
-// Close drops the iterator's reference to the block's shared in-memory
-// backing (the dfs cache owns the bytes; nothing to release here).
-func (it *dfsIter) Close() error { it.fr = nil; return nil }
+// Close drops the iterator's reference to the decoded block buffer.
+func (it *storeIter) Close() error { it.fr = nil; return nil }
 
-// Morsels carves the block into frame runs of ~targetBytes. The block is
-// read once here — dfs blocks are shared in-memory backing, so the runs
-// alias it without copying — which means replica availability is checked
-// at carve time rather than when a worker opens the morsel; a job in
-// morsel mode fails at planning if the block is unreadable, instead of in
-// a map task.
-func (sp *dfsSplit) Morsels(targetBytes int) ([]Split, error) {
-	data, err := sp.fs.ReadBlock(sp.info.File, sp.info.Index)
+// Morsels carves the block into frame runs of ~targetBytes. The block
+// is read (and decoded) once here and the runs alias that buffer, which
+// means replica availability is checked at carve time rather than when
+// a worker opens the morsel; a job in morsel mode fails at planning if
+// the block is unreadable, instead of in a map task.
+func (sp *storeSplit) Morsels(targetBytes int) ([]Split, error) {
+	data, err := sp.st.ReadBlock(sp.info.File, sp.info.Index)
 	if err != nil {
 		return nil, err
 	}
@@ -184,8 +186,8 @@ func (sp *dfsSplit) Morsels(targetBytes int) ([]Split, error) {
 	return out, nil
 }
 
-// frameRunSplit is one morsel of a dfs block: a contiguous run of whole
-// frames aliasing the block's backing bytes.
+// frameRunSplit is one morsel of a store block: a contiguous run of
+// whole frames aliasing the block's decoded buffer.
 type frameRunSplit struct {
 	label string
 	data  []byte
@@ -194,5 +196,5 @@ type frameRunSplit struct {
 func (sp *frameRunSplit) Label() string    { return sp.label }
 func (sp *frameRunSplit) SizeBytes() int64 { return int64(len(sp.data)) }
 func (sp *frameRunSplit) Open() (RecordIter, error) {
-	return &dfsIter{fr: recio.NewFrameReader(sp.data)}, nil
+	return &storeIter{fr: recio.NewFrameReader(sp.data)}, nil
 }

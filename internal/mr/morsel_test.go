@@ -12,9 +12,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/cube"
 	"github.com/casm-project/casm/internal/exec"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/transport"
 )
@@ -68,25 +68,22 @@ func TestMemorySplitMorsels(t *testing.T) {
 	}
 }
 
-// TestDFSSplitMorsels checks the frame-run carving of dfs blocks: morsels
-// partition each block's frames and never split a record.
-func TestDFSSplitMorsels(t *testing.T) {
-	fs, err := dfs.New(dfs.Config{BlockSize: 512, Replication: 1, NumNodes: 2, Seed: 1})
+// TestStoreSplitMorsels checks the frame-run carving of store blocks:
+// morsels partition each block's frames and never split a record.
+func TestStoreSplitMorsels(t *testing.T) {
+	st, err := blockstore.Open(blockstore.Config{Dir: t.TempDir(), BlockSize: 512, Replication: 1, NumNodes: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer st.Close()
 	var recs []cube.Record
 	for i := int64(0); i < 500; i++ {
 		recs = append(recs, cube.Record{i % 7, i, i * i})
 	}
-	packed, err := recio.PackAligned(recs, 512)
-	if err != nil {
+	if err := st.WriteRecords("data", 3, "", recs); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Write("data", packed); err != nil {
-		t.Fatal(err)
-	}
-	splits, err := NewDFSInput(fs, "data").Splits()
+	splits, err := NewStoreInput(st, "data").Splits()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -96,6 +96,11 @@ type TaskStats struct {
 	AggPoolHits     int64 // aggregators served by the session pool instead of a fresh allocation
 	WindowLookups   int64 // sibling-window probes during sliding-measure evaluation
 
+	// Materialized result-cache counters (zero without a result cache).
+	ResultCacheHits   int64 // groups whose output was served from the cache instead of evaluated
+	ResultCacheMisses int64 // groups evaluated and then materialized into the cache
+	ResultCacheBytes  int64 // cached result bytes served in place of evaluation
+
 	// CollectDone is when this reducer's shuffle drain completed,
 	// relative to the job's start — the moment its reduce task became
 	// runnable under per-reducer readiness. Observability only: never

@@ -9,8 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/cube"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/transport"
 )
@@ -364,24 +364,21 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestDFSInputEndToEnd(t *testing.T) {
-	fs, err := dfs.New(dfs.Config{BlockSize: 256, Replication: 2, NumNodes: 4, Seed: 1})
+func TestStoreInputEndToEnd(t *testing.T) {
+	st, err := blockstore.Open(blockstore.Config{Dir: t.TempDir(), BlockSize: 256, Replication: 2, NumNodes: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer st.Close()
 	var recs []cube.Record
 	for i := int64(0); i < 1000; i++ {
 		recs = append(recs, cube.Record{i % 7, i})
 	}
-	packed, err := recio.PackAligned(recs, 256)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := fs.Write("data", packed); err != nil {
+	if err := st.WriteRecords("data", 2, "", recs); err != nil {
 		t.Fatal(err)
 	}
 	job := Job{
-		Input: NewDFSInput(fs, "data"),
+		Input: NewStoreInput(st, "data"),
 		Map: func(ctx *MapCtx, record []byte) error {
 			rec, err := recio.DecodeRecord(record, 2)
 			if err != nil {

@@ -29,8 +29,27 @@ import (
 // schema identity followed by one line per measure, names replaced by
 // descriptor-ordered indices. It errors only on a malformed DAG.
 func CanonicalForm(w *Workflow) (string, error) {
-	if _, err := w.TopoOrder(); err != nil {
+	desc, err := describeMeasures(w)
+	if err != nil {
 		return "", err
+	}
+	// The canonical measure order is descriptor order; equal descriptors
+	// are genuinely interchangeable, so the multiset is what is encoded.
+	sorted := append([]string(nil), desc...)
+	sort.Strings(sorted)
+	var b strings.Builder
+	b.WriteString(SchemaForm(w.schema))
+	for i, d := range sorted {
+		fmt.Fprintf(&b, "m%d %s\n", i, d)
+	}
+	return b.String(), nil
+}
+
+// describeMeasures computes each measure's structural descriptor in
+// insertion order.
+func describeMeasures(w *Workflow) ([]string, error) {
+	if _, err := w.TopoOrder(); err != nil {
+		return nil, err
 	}
 	desc := make([]string, len(w.measures))
 	var describe func(i int) string
@@ -69,16 +88,33 @@ func CanonicalForm(w *Workflow) (string, error) {
 	for i := range w.measures {
 		describe(i)
 	}
-	// The canonical measure order is descriptor order; equal descriptors
-	// are genuinely interchangeable, so the multiset is what is encoded.
-	sorted := append([]string(nil), desc...)
-	sort.Strings(sorted)
-	var b strings.Builder
-	b.WriteString(SchemaForm(w.schema))
-	for i, d := range sorted {
-		fmt.Fprintf(&b, "m%d %s\n", i, d)
+	return desc, nil
+}
+
+// CanonicalMeasures returns the workflow's measures in canonical
+// (descriptor) order — the order CanonicalForm encodes them in. Two
+// structurally identical workflows yield positionally equivalent lists
+// even when their measure names differ, which is what lets a
+// fingerprint-keyed result cache store rows under canonical measure
+// indices and map them back to whatever names the probing workflow
+// uses. Equal descriptors are genuinely interchangeable (identical
+// definitions produce identical rows), so their relative order doesn't
+// matter; insertion order breaks the tie deterministically.
+func CanonicalMeasures(w *Workflow) ([]*Measure, error) {
+	desc, err := describeMeasures(w)
+	if err != nil {
+		return nil, err
 	}
-	return b.String(), nil
+	idx := make([]int, len(desc))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return desc[idx[a]] < desc[idx[b]] })
+	out := make([]*Measure, len(idx))
+	for i, j := range idx {
+		out[i] = w.measures[j]
+	}
+	return out, nil
 }
 
 // Fingerprint returns the canonical workflow fingerprint: a 128-bit hex
@@ -90,6 +126,15 @@ func Fingerprint(w *Workflow) (string, error) {
 	}
 	sum := sha256.Sum256([]byte(form))
 	return hex.EncodeToString(sum[:16]), nil
+}
+
+// SchemaDigest returns a 128-bit hex digest of a schema's structural
+// identity (SchemaForm). The block store records it per dataset so a
+// restarted service can verify a registration's schema matches the
+// ingested data without rereading it.
+func SchemaDigest(s *cube.Schema) string {
+	sum := sha256.Sum256([]byte(SchemaForm(s)))
+	return hex.EncodeToString(sum[:16])
 }
 
 // SchemaForm renders a schema's structural identity: every attribute's

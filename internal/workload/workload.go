@@ -11,10 +11,9 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/cube"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/measure"
-	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/workflow"
 )
 
@@ -202,14 +201,11 @@ func sortRecords(recs []cube.Record, freq map[int64]int) {
 	})
 }
 
-// WriteDFS packs records into aligned blocks and stores them as a DFS
-// file ready to serve as MapReduce input.
-func WriteDFS(fs *dfs.FS, name string, records []cube.Record, blockSize int) error {
-	data, err := recio.PackAligned(records, blockSize)
-	if err != nil {
-		return err
-	}
-	return fs.Write(name, data)
+// WriteStore ingests records into a block-store file ready to serve as
+// MapReduce input, recording the schema digest in store metadata so a
+// reopened store can re-register the dataset without recounting.
+func WriteStore(st *blockstore.Store, name string, s *cube.Schema, records []cube.Record) error {
+	return st.WriteRecords(name, s.NumAttrs(), workflow.SchemaDigest(s), records)
 }
 
 func (s *Suite) grain(specs ...cube.GrainSpec) cube.Grain { return s.Schema.MustGrain(specs...) }

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"github.com/casm-project/casm/internal/blockstore"
 	"github.com/casm-project/casm/internal/cube"
-	"github.com/casm-project/casm/internal/dfs"
 	"github.com/casm-project/casm/internal/distkey"
 	"github.com/casm-project/casm/internal/recio"
 	"github.com/casm-project/casm/internal/workflow"
@@ -137,26 +137,55 @@ func TestQueryShapes(t *testing.T) {
 	}
 }
 
-func TestWriteDFSRoundTrip(t *testing.T) {
+func TestWriteStoreRoundTrip(t *testing.T) {
 	su := NewSuite()
 	records := su.Generate(2000, Uniform, 3)
-	fs, err := dfs.New(dfs.Config{BlockSize: 4096, Replication: 2, NumNodes: 4, Seed: 1})
+	st, err := blockstore.Open(blockstore.Config{Dir: t.TempDir(), BlockSize: 4096, Replication: 2, NumNodes: 4, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteDFS(fs, "data", records, 4096); err != nil {
+	defer st.Close()
+	if err := WriteStore(st, "data", su.Schema, records); err != nil {
 		t.Fatal(err)
 	}
-	data, err := fs.Read("data")
+	info, err := st.FileInfo("data")
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := recio.DecodeAll(data, 4096, su.Schema.NumAttrs())
+	if info.Records != int64(len(records)) {
+		t.Fatalf("store holds %d records, want %d", info.Records, len(records))
+	}
+	if info.SchemaDigest != workflow.SchemaDigest(su.Schema) {
+		t.Fatalf("schema digest %q not recorded", info.SchemaDigest)
+	}
+	arity := su.Schema.NumAttrs()
+	var back int
+	blocks, err := st.Blocks("data")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != len(records) {
-		t.Fatalf("got %d records back, want %d", len(back), len(records))
+	for _, b := range blocks {
+		data, err := st.ReadBlock("data", b.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := recio.NewFrameReader(data)
+		for {
+			payload, ok, err := fr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if _, err := recio.DecodeRecord(payload, arity); err != nil {
+				t.Fatal(err)
+			}
+			back++
+		}
+	}
+	if back != len(records) {
+		t.Fatalf("got %d records back, want %d", back, len(records))
 	}
 }
 
